@@ -1,0 +1,102 @@
+// FIG1 — the paper's motivating timeline (Figure 1): two overlapping event
+// requests handled (i) sequentially by the EDT and (ii) with task-offload
+// to a thread-pool executor. Reports when each request starts handling and
+// finishes, showing request 2's commencement delayed by request 1 under
+// sequential dispatch and not under offloading.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/clock.hpp"
+#include "common/sync.hpp"
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+#include "core/target.hpp"
+#include "event/event_loop.hpp"
+
+namespace {
+
+struct RequestTrace {
+  double fired_ms = 0.0;
+  double start_ms = 0.0;   // handler began on some thread
+  double finish_ms = 0.0;  // handling logically complete
+};
+
+constexpr int kRequests = 3;
+
+std::vector<RequestTrace> run_mode(bool offload, evmp::common::Millis work,
+                                   evmp::common::Millis gap) {
+  evmp::event::EventLoop edt("edt");
+  edt.start();
+  evmp::Runtime rt;
+  rt.register_edt("edt", edt);
+  rt.create_worker("worker", kRequests);
+
+  std::vector<RequestTrace> traces(kRequests);
+  evmp::common::CountdownLatch done(kRequests);
+  const auto t0 = evmp::common::now();
+  auto ms_since = [t0] {
+    return evmp::common::to_ms(evmp::common::now() - t0);
+  };
+
+  for (int i = 0; i < kRequests; ++i) {
+    evmp::common::precise_sleep(
+        std::chrono::duration_cast<evmp::common::Nanos>(gap));
+    traces[i].fired_ms = ms_since();
+    edt.post([&, i] {
+      auto body = [&, i] {
+        traces[i].start_ms = ms_since();
+        evmp::common::precise_sleep(
+            std::chrono::duration_cast<evmp::common::Nanos>(work));
+        traces[i].finish_ms = ms_since();
+        done.count_down();
+      };
+      if (offload) {
+        rt.target("worker").nowait(std::move(body));  // Figure 1(ii)
+      } else {
+        body();  // Figure 1(i): the EDT handles it inline
+      }
+    });
+  }
+  done.wait();
+  edt.wait_until_idle();
+  rt.clear();
+  return traces;
+}
+
+void print_mode(const char* title, const std::vector<RequestTrace>& traces) {
+  std::printf("\n## %s\n", title);
+  evmp::common::TextTable table;
+  table.set_header({"request", "fired(ms)", "handling starts(ms)",
+                    "finishes(ms)", "start delay(ms)"});
+  for (int i = 0; i < kRequests; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   evmp::common::fmt(traces[i].fired_ms, 1),
+                   evmp::common::fmt(traces[i].start_ms, 1),
+                   evmp::common::fmt(traces[i].finish_ms, 1),
+                   evmp::common::fmt(traces[i].start_ms - traces[i].fired_ms,
+                                     1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const evmp::common::CliArgs args(argc, argv);
+  const evmp::common::Millis work{args.get_long("work-ms", 40)};
+  const evmp::common::Millis gap{args.get_long("gap-ms", 10)};
+
+  std::printf("FIG1: motivation — overlapping requests, %lldms handlers "
+              "fired every %lldms\n",
+              static_cast<long long>(work.count()),
+              static_cast<long long>(gap.count()));
+  print_mode("(i) single-threaded event processing (EDT handles inline)",
+             run_mode(false, work, gap));
+  print_mode("(ii) multi-threaded event processing (offloaded to executor)",
+             run_mode(true, work, gap));
+  std::printf("\nExpected shape: under (i) each request's start is delayed by "
+              "its predecessors; under (ii) start delay stays near zero.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// FIG9 — reproduces the paper's Figure 9 (§V.B): throughput of the HTTP
+// encryption service vs number of concurrent worker threads, for the Jetty
+// fixed-pool connector and the Pyjama virtual-target connector, each with
+// and without per-event parallelisation of the kernel.
+//
+// Paper expectation: "both Jetty and Pyjama have good scaling performance
+// as the number of concurrency worker threads increases. When the
+// parallelization of each event ... is used in combination with either
+// Jetty or Pyjama, it initially results in dramatically better throughput.
+// Yet, as the number of concurrency worker threads is increased, the
+// throughput levels off ... because every parallelization computation
+// spawns its own set of worker threads" — oversubscription.
+//
+// Flags: --threads=1,2,4,8,16,32 --users=50 --requests=2 --payload=4096
+//        --width=3 (per-request team for +parallel) --real --handler-ms=20
+//        --full --csv=DIR
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "forkjoin/team.hpp"
+#include "httpsim/connector.hpp"
+#include "httpsim/encryption_service.hpp"
+#include "httpsim/virtual_users.hpp"
+#include "kernels/crypt.hpp"
+
+namespace {
+
+using evmp::http::EncryptionService;
+using evmp::http::HttpLoadResult;
+using evmp::http::VirtualUserOptions;
+
+struct Config {
+  std::size_t payload = 4096;
+  int parallel_width = 3;
+  evmp::kernels::WorkModel model = evmp::kernels::WorkModel::kSimulated;
+  evmp::common::Millis handler_ms{20};
+  VirtualUserOptions users;
+};
+
+EncryptionService::Config service_config(const Config& cfg, bool parallel) {
+  EncryptionService::Config sc;
+  sc.payload_bytes = cfg.payload;
+  sc.parallel_width = parallel ? cfg.parallel_width : 1;
+  sc.work_model = cfg.model;
+  if (cfg.model == evmp::kernels::WorkModel::kSimulated) {
+    // Split the handler's simulated duration across the crypt units.
+    evmp::kernels::CryptKernel probe(cfg.payload);
+    sc.per_unit = std::chrono::duration_cast<evmp::common::Nanos>(
+                      cfg.handler_ms) /
+                  std::max<long>(1, probe.units());
+  }
+  return sc;
+}
+
+HttpLoadResult run_one(const Config& cfg, bool pyjama, bool parallel,
+                       int workers) {
+  EncryptionService service(service_config(cfg, parallel));
+  if (pyjama) {
+    evmp::http::PyjamaConnector connector(workers, service.handler());
+    return evmp::http::run_virtual_users(connector, cfg.users);
+  }
+  evmp::http::JettyConnector connector(workers, service.handler());
+  return evmp::http::run_virtual_users(connector, cfg.users);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const evmp::common::CliArgs args(argc, argv);
+  const bool full = args.get_bool("full", false);
+
+  Config cfg;
+  cfg.payload = static_cast<std::size_t>(args.get_long("payload", 4096));
+  cfg.parallel_width = static_cast<int>(args.get_long("width", 3));
+  cfg.model = args.get_bool("real", false)
+                  ? evmp::kernels::WorkModel::kReal
+                  : evmp::kernels::WorkModel::kSimulated;
+  cfg.handler_ms = evmp::common::Millis{args.get_long("handler-ms", 20)};
+  cfg.users.users = static_cast<int>(args.get_long("users", full ? 100 : 50));
+  cfg.users.requests_per_user =
+      static_cast<int>(args.get_long("requests", full ? 5 : 2));
+  cfg.users.payload_bytes = cfg.payload;
+  evmp::kernels::set_simulated_cores(
+      static_cast<int>(args.get_long("sim-cores", 16)));
+
+  const auto thread_counts = args.get_long_list(
+      "threads", full ? std::vector<long>{1, 2, 4, 8, 16, 24, 32}
+                      : std::vector<long>{1, 2, 4, 8, 16});
+
+  std::printf("FIG9: HTTP encryption service throughput (responses/sec)\n");
+  std::printf("# %d virtual users x %d requests, payload %zuB, %s work "
+              "(~%lldms/request sequential)\n",
+              cfg.users.users, cfg.users.requests_per_user, cfg.payload,
+              cfg.model == evmp::kernels::WorkModel::kReal ? "real"
+                                                           : "simulated",
+              static_cast<long long>(cfg.handler_ms.count()));
+  if (cfg.model == evmp::kernels::WorkModel::kSimulated) {
+    std::printf("# simulated machine: %d virtual cores (paper: 16-core "
+                "Xeon); per-request +parallel team width %d\n",
+                evmp::kernels::simulated_cores(), cfg.parallel_width);
+  }
+
+  evmp::common::TextTable table;
+  table.set_header({"workers", "jetty", "pyjama", "jetty+parallel",
+                    "pyjama+parallel", "teams spawned"});
+
+  for (long workers : thread_counts) {
+    const auto helper_threads_before =
+        evmp::fj::total_helper_threads_created();
+    std::vector<std::string> row{std::to_string(workers)};
+    for (const bool parallel : {false, true}) {
+      for (const bool pyjama : {false, true}) {
+        const auto result =
+            run_one(cfg, pyjama, parallel, static_cast<int>(workers));
+        if (result.failed != 0) {
+          std::fprintf(stderr, "# ERROR: %llu failed responses\n",
+                       static_cast<unsigned long long>(result.failed));
+        }
+        row.push_back(evmp::common::fmt(result.throughput_rps, 1));
+      }
+    }
+    const auto teams = (evmp::fj::total_helper_threads_created() -
+                        helper_threads_before) /
+                       static_cast<std::uint64_t>(
+                           std::max(1, cfg.parallel_width - 1));
+    row.push_back(std::to_string(teams));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::printf("# 'teams spawned': per-request fork-join teams created by the "
+              "+parallel variants in this row (the paper's oversubscription "
+              "mechanism).\n");
+
+  const std::string csv_dir = args.get("csv", "");
+  if (!csv_dir.empty()) {
+    evmp::common::write_csv(table, csv_dir + "/fig9.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// KRN — kernel sanity benchmarks (google-benchmark): sequential vs
+// fork-join execution of each Java Grande kernel under each schedule.
+//
+// §V.A relies on "the kernel can be parallelized by using traditional
+// OpenMP directives"; on a multi-core host the parallel/real variants show
+// the speedup, and under the simulated work model the sleep-overlap shows
+// the same structure on this 1-CPU container.
+
+#include <benchmark/benchmark.h>
+
+#include "forkjoin/parallel_for.hpp"
+#include "forkjoin/team.hpp"
+#include "kernels/kernel.hpp"
+
+namespace {
+
+using evmp::fj::Schedule;
+using evmp::kernels::Kernel;
+using evmp::kernels::SizeClass;
+using evmp::kernels::WorkModel;
+
+const char* kKernelNames[] = {"crypt", "raytracer", "montecarlo", "series"};
+
+void BM_KernelSequentialReal(benchmark::State& state) {
+  auto kernel = evmp::kernels::make_kernel(
+      kKernelNames[state.range(0)], SizeClass::kSmall);
+  kernel->prepare();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->run_sequential());
+  }
+  state.SetLabel(std::string(kernel->name()));
+}
+BENCHMARK(BM_KernelSequentialReal)->DenseRange(0, 3);
+
+void BM_KernelParallelReal(benchmark::State& state) {
+  auto kernel = evmp::kernels::make_kernel(
+      kKernelNames[state.range(0)], SizeClass::kSmall);
+  kernel->prepare();
+  evmp::fj::Team team(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->run_parallel(team));
+  }
+  state.SetLabel(std::string(kernel->name()) + "/t" +
+                 std::to_string(state.range(1)));
+}
+BENCHMARK(BM_KernelParallelReal)
+    ->ArgsProduct({{0, 1, 2, 3}, {2, 4}});
+
+void BM_KernelSimulatedOverlap(benchmark::State& state) {
+  // The simulated work model: per-unit sleep dominates; a team of N should
+  // divide wall time by ~N even on one CPU.
+  auto kernel = evmp::kernels::make_kernel(
+      kKernelNames[state.range(0)], SizeClass::kTiny);
+  kernel->set_work_model(
+      WorkModel::kSimulated,
+      evmp::common::Nanos{8'000'000 /
+                          std::max<long>(1, [&] {
+                            auto probe = evmp::kernels::make_kernel(
+                                kKernelNames[state.range(0)],
+                                SizeClass::kTiny);
+                            return probe->units();
+                          }())});
+  kernel->prepare();
+  evmp::fj::Team team(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    if (state.range(1) == 1) {
+      benchmark::DoNotOptimize(kernel->run_sequential());
+    } else {
+      benchmark::DoNotOptimize(kernel->run_parallel(team));
+    }
+  }
+  state.SetLabel(std::string(kernel->name()) + "/t" +
+                 std::to_string(state.range(1)));
+}
+BENCHMARK(BM_KernelSimulatedOverlap)
+    ->ArgsProduct({{0, 3}, {1, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleComparison(benchmark::State& state) {
+  auto kernel =
+      evmp::kernels::make_kernel("raytracer", SizeClass::kSmall);
+  kernel->prepare();
+  evmp::fj::Team team(4);
+  const auto sched = static_cast<Schedule>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->run_parallel(team, sched, 1));
+  }
+  state.SetLabel(evmp::fj::to_string(sched));
+}
+BENCHMARK(BM_ScheduleComparison)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

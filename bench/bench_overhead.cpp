@@ -1,0 +1,141 @@
+// OV1 — directive invocation overhead microbenchmarks (google-benchmark).
+//
+// §I of the paper argues that for event-driven applications "the
+// introduction of additional overhead for the concurrency of shorter
+// computational spurts needs to be less of a dilemma"; these benchmarks
+// quantify what one directive costs: the membership fast-path (directive
+// ignored), a cross-thread post + join, the await pump loop, and the
+// name_as/wait pair, against a raw function call baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+#include "core/target.hpp"
+#include "event/event_loop.hpp"
+#include "executor/thread_pool_executor.hpp"
+
+namespace {
+
+using evmp::Async;
+using evmp::Runtime;
+
+/// Shared fixture state: one runtime with a worker pool.
+struct BenchRuntime {
+  BenchRuntime() { rt.create_worker("worker", 2); }
+  ~BenchRuntime() { rt.clear(); }
+  Runtime rt;
+};
+
+BenchRuntime& bench_rt() {
+  static BenchRuntime instance;
+  return instance;
+}
+
+void BM_RawFunctionCall(benchmark::State& state) {
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_RawFunctionCall);
+
+void BM_DirectiveDisabled(benchmark::State& state) {
+  auto& rt = bench_rt().rt;
+  rt.set_enabled(false);
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker", [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+        Async::kNowait);
+  }
+  rt.set_enabled(true);
+}
+BENCHMARK(BM_DirectiveDisabled);
+
+void BM_MembershipFastPath(benchmark::State& state) {
+  // Executed from inside the worker target: the directive is "ignored".
+  auto& rt = bench_rt().rt;
+  std::atomic<std::uint64_t> sink{0};
+  // One outer submission per iteration would dominate, so each iteration
+  // times a batch of 1000 inner fast-path invocations from a worker thread.
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker",
+        [&] {
+          for (int i = 0; i < 1000; ++i) {
+            rt.invoke_target_block(
+                "worker",
+                [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+                Async::kNowait);
+          }
+        },
+        Async::kDefault);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MembershipFastPath);
+
+void BM_CrossThreadDefaultWait(benchmark::State& state) {
+  auto& rt = bench_rt().rt;
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker", [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+        Async::kDefault);
+  }
+}
+BENCHMARK(BM_CrossThreadDefaultWait);
+
+void BM_CrossThreadAwait(benchmark::State& state) {
+  auto& rt = bench_rt().rt;
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker", [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+        Async::kAwait);
+  }
+}
+BENCHMARK(BM_CrossThreadAwait);
+
+void BM_NameAsPlusWaitTag(benchmark::State& state) {
+  auto& rt = bench_rt().rt;
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker", [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+        Async::kNameAs, "ov");
+    rt.wait_tag("ov");
+  }
+}
+BENCHMARK(BM_NameAsPlusWaitTag);
+
+void BM_NowaitThroughput(benchmark::State& state) {
+  // Submission cost only (join amortised once at the end).
+  auto& rt = bench_rt().rt;
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    rt.invoke_target_block(
+        "worker", [&] { sink.fetch_add(1, std::memory_order_relaxed); },
+        Async::kNameAs, "drain");
+  }
+  rt.wait_tag("drain");  // drain outside the measured loop
+}
+BENCHMARK(BM_NowaitThroughput);
+
+void BM_EdtInvokeLater(benchmark::State& state) {
+  evmp::event::EventLoop edt("edt");
+  edt.start();
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    edt.post([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+  }
+  edt.wait_until_idle();
+}
+BENCHMARK(BM_EdtInvokeLater);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+#include "gui_bench.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "baselines/executor_service.hpp"
+#include "baselines/thread_per_request.hpp"
+#include "core/runtime.hpp"
+#include "event/gui.hpp"
+#include "forkjoin/team.hpp"
+#include "kernels/kernel_pool.hpp"
+
+namespace evmp::bench {
+
+namespace {
+
+common::Nanos per_unit_for(const GuiBenchConfig& config) {
+  // Split the handler's simulated duration evenly across kernel units.
+  auto probe = kernels::make_kernel(config.kernel, config.size);
+  const long units = probe->units();
+  return std::chrono::duration_cast<common::Nanos>(config.handler_ms) /
+         (units > 0 ? units : 1);
+}
+
+}  // namespace
+
+std::vector<baselines::Approach> figure7_approaches() {
+  using baselines::Approach;
+  return {Approach::kSequential,      Approach::kSwingWorker,
+          Approach::kExecutorService, Approach::kPyjama,
+          Approach::kSyncParallel,    Approach::kAsyncParallel};
+}
+
+GuiBenchOutcome run_gui_round(baselines::Approach approach,
+                              const GuiBenchConfig& config) {
+  event::EventLoop edt("edt");
+  edt.start();
+  Runtime rt;
+  rt.register_edt("edt", edt);
+  rt.create_worker("worker", config.worker_threads);
+
+  event::Gui gui(edt, event::ConfinementPolicy::kCount);
+  auto& status = gui.add_label("status");
+  auto& progress = gui.add_progress_bar("progress");
+
+  kernels::KernelPool pool(config.kernel, config.size, config.work_model,
+                           config.work_model == kernels::WorkModel::kSimulated
+                               ? per_unit_for(config)
+                               : common::Nanos{0});
+  baselines::ExecutorService executor_service(
+      static_cast<std::size_t>(config.worker_threads));
+  baselines::ThreadPerRequest thread_per_request;
+  fj::Team sync_team(config.parallel_width);
+  std::atomic<std::uint64_t> sink{0};
+
+  baselines::GuiBenchEnv env{edt,
+                             rt,
+                             status,
+                             progress,
+                             pool,
+                             &executor_service,
+                             &thread_per_request,
+                             &sync_team,
+                             config.parallel_width,
+                             &sink};
+
+  std::unique_ptr<event::ResponseProbe> probe;
+  if (config.probe_period.count() > 0) {
+    probe = std::make_unique<event::ResponseProbe>(
+        edt, std::chrono::duration_cast<common::Nanos>(config.probe_period));
+    probe->start();
+  }
+
+  event::OpenLoopDriver::Options opt;
+  opt.count = config.events;
+  opt.rate_hz = config.rate_hz;
+  opt.seed = config.seed;
+  opt.drain_timeout = common::Millis{120'000};
+
+  const common::Stopwatch wall;
+  GuiBenchOutcome outcome;
+  outcome.load = event::OpenLoopDriver::run(
+      edt, opt, [&](std::size_t index, const event::CompletionToken& token) {
+        baselines::handle_event(approach, env, index, token);
+      });
+  const double wall_sec = wall.elapsed_sec();
+
+  if (probe) {
+    probe->stop();
+    outcome.probe_p50_ms =
+        static_cast<double>(probe->latencies().percentile(0.5)) / 1e6;
+    outcome.probe_p99_ms =
+        static_cast<double>(probe->latencies().percentile(0.99)) / 1e6;
+  }
+  edt.wait_until_idle();
+  thread_per_request.join_all();
+  executor_service.shutdown();
+  rt.clear();
+
+  outcome.edt_busy_pct =
+      wall_sec > 0.0 ? 100.0 * common::to_sec(edt.busy_time()) / wall_sec
+                     : 0.0;
+  outcome.gui_violations = gui.violations();
+  outcome.edt_events = edt.dispatched();
+  return outcome;
+}
+
+void print_environment_banner(const GuiBenchConfig& config) {
+  std::printf("# hardware: %u cpu(s); work model: %s",
+              std::thread::hardware_concurrency(),
+              config.work_model == kernels::WorkModel::kReal ? "real"
+                                                             : "simulated");
+  if (config.work_model == kernels::WorkModel::kSimulated) {
+    std::printf(" (handler ~%lldms per event, %d virtual cores)",
+                static_cast<long long>(config.handler_ms.count()),
+                kernels::simulated_cores());
+  }
+  std::printf("\n# worker target: %d threads; parallel width: %d\n",
+              config.worker_threads, config.parallel_width);
+}
+
+GuiBenchConfig config_from_cli(const common::CliArgs& args) {
+  GuiBenchConfig config;
+  config.kernel = args.get("kernel", config.kernel);
+  config.work_model = args.get_bool("real", false)
+                          ? kernels::WorkModel::kReal
+                          : kernels::WorkModel::kSimulated;
+  config.handler_ms =
+      common::Millis{args.get_long("handler-ms", config.handler_ms.count())};
+  config.worker_threads = static_cast<int>(
+      args.get_long("workers", config.worker_threads));
+  config.parallel_width = static_cast<int>(
+      args.get_long("width", config.parallel_width));
+  config.events = static_cast<std::size_t>(
+      args.get_long("events", static_cast<long>(config.events)));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  if (args.has("sim-cores")) {
+    kernels::set_simulated_cores(
+        static_cast<int>(args.get_long("sim-cores", 16)));
+  }
+  const long size = args.get_long("size", 0);
+  config.size = size <= 0 ? kernels::SizeClass::kTiny
+                          : (size == 1 ? kernels::SizeClass::kSmall
+                                       : kernels::SizeClass::kMedium);
+  return config;
+}
+
+}  // namespace evmp::bench

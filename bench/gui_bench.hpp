@@ -1,0 +1,62 @@
+#pragma once
+// Shared harness for the §V.A GUI event-handling benchmarks (Figures 7-8):
+// builds the full environment (EDT + GUI + runtime + baselines), fires an
+// open-loop event load under a chosen approach, and reports response-time
+// and EDT-responsiveness statistics.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/approaches.hpp"
+#include "common/cli.hpp"
+#include "event/load.hpp"
+#include "kernels/kernel.hpp"
+
+namespace evmp::bench {
+
+/// One benchmark configuration.
+struct GuiBenchConfig {
+  std::string kernel = "crypt";
+  kernels::SizeClass size = kernels::SizeClass::kTiny;
+  kernels::WorkModel work_model = kernels::WorkModel::kSimulated;
+  /// Target total duration of one handler's kernel under kSimulated
+  /// (split across the kernel's units).
+  common::Millis handler_ms{16};
+  int worker_threads = 3;    ///< the "worker" virtual target's pool size
+  int parallel_width = 4;    ///< team width (EDT/worker + 3), as in §V.A
+  double rate_hz = 50.0;     ///< request load
+  std::size_t events = 40;   ///< requests per round
+  std::uint64_t seed = 42;
+  /// Period of the EDT responsiveness probe; 0 disables it (Figure 7
+  /// measures response time only).
+  common::Millis probe_period{0};
+};
+
+/// Measured outcome of one round.
+struct GuiBenchOutcome {
+  event::LoadResult load;          ///< per-request response times
+  double probe_p50_ms = 0.0;       ///< EDT probe latency median
+  double probe_p99_ms = 0.0;
+  double edt_busy_pct = 0.0;       ///< EDT busy time / wall time
+  std::uint64_t gui_violations = 0;
+  std::uint64_t edt_events = 0;    ///< events the EDT dispatched
+};
+
+/// Run one (approach, config) round to completion.
+GuiBenchOutcome run_gui_round(baselines::Approach approach,
+                              const GuiBenchConfig& config);
+
+/// Approaches reported in Figure 7/8 order (the paper compares
+/// sequential, SwingWorker, ExecutorService, Pyjama and sync-parallel;
+/// async-parallel is the paper's "asynchronous parallel" refinement).
+std::vector<baselines::Approach> figure7_approaches();
+
+/// Print the hardware/work-model banner every figure bench emits so the
+/// EXPERIMENTS.md context is always attached to the numbers.
+void print_environment_banner(const GuiBenchConfig& config);
+
+/// Parse the flags shared by the figure benches into a config.
+GuiBenchConfig config_from_cli(const common::CliArgs& args);
+
+}  // namespace evmp::bench

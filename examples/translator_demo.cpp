@@ -1,0 +1,41 @@
+// translator_demo — runs the evmpcc source-to-source translator in-process
+// on the paper's §IV.A listing and prints both versions side by side,
+// mirroring the compilation example of the paper.
+//
+// Run: ./build/examples/translator_demo
+
+#include <cstdio>
+
+#include "compilerlib/translator.hpp"
+
+int main() {
+  const char* annotated = R"(
+void buttonOnClick() {
+  label.set_text("Start Processing Task!");
+  //#omp target virtual(worker) await
+  {
+    compute_half1(); // S1
+    //#omp target virtual(edt) nowait
+    {
+      label.set_text("Task half finished"); // S2
+    }
+    compute_half2(); // S3
+  }
+  label.set_text("Task finished"); // S4
+}
+)";
+
+  std::printf("=== annotated source (paper §IV.A) ===\n%s\n", annotated);
+
+  evmp::compiler::TranslateOptions options;
+  options.add_include = false;
+  const auto result = evmp::compiler::translate_source(annotated, options);
+
+  std::printf("=== evmpcc output (%d directives rewritten) ===\n%s\n",
+              result.directives_rewritten, result.output.c_str());
+  std::printf(
+      "Each target block became a TargetRegion lambda submitted through\n"
+      "Runtime::invoke_target_block — the same structure Pyjama generates\n"
+      "for Java (TargetRegion_0 / TargetRegion_1 in the paper).\n");
+  return result.directives_rewritten == 2 ? 0 : 1;
+}

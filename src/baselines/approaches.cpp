@@ -1,0 +1,198 @@
+#include "baselines/approaches.hpp"
+
+#include "baselines/swing_worker.hpp"
+#include "core/target.hpp"
+
+namespace evmp::baselines {
+
+namespace {
+
+using KernelLease = std::shared_ptr<evmp::kernels::Kernel>;
+
+void sink_add(GuiBenchEnv& env, std::uint64_t v) {
+  if (env.sink != nullptr) {
+    env.sink->fetch_add(v, std::memory_order_relaxed);
+  }
+}
+
+void s2_progress(GuiBenchEnv& env) { env.progress.set_value(50); }
+
+void s4_finish(GuiBenchEnv& env, const event::CompletionToken& token) {
+  env.progress.set_value(100);
+  env.status.set_text("Task finished");
+  token.complete();
+}
+
+/// SwingWorker subclass mirroring the paper's Figure 3 structure.
+class KernelWorker final : public SwingWorker<std::uint64_t, int> {
+ public:
+  KernelWorker(GuiBenchEnv& env, KernelLease kernel,
+               event::CompletionToken token)
+      : SwingWorker(env.edt), env_(env), kernel_(std::move(kernel)),
+        token_(std::move(token)) {}
+
+ protected:
+  std::uint64_t do_in_background() override {
+    const long half = kernel_->units() / 2;
+    std::uint64_t sum = kernel_->process_range(0, half);  // S1
+    publish(50);                                          // -> S2 on EDT
+    sum += kernel_->process_range(half, kernel_->units());  // S3
+    return sum;
+  }
+
+  void process(const std::vector<int>& chunks) override {
+    env_.progress.set_value(chunks.back());  // S2
+  }
+
+  void done() override {
+    sink_add(env_, get());
+    s4_finish(env_, token_);  // S4
+  }
+
+ private:
+  GuiBenchEnv& env_;
+  KernelLease kernel_;
+  event::CompletionToken token_;
+};
+
+void handle_sequential(GuiBenchEnv& env, const event::CompletionToken& token) {
+  KernelLease k = env.kernels.acquire();
+  const long half = k->units() / 2;
+  std::uint64_t sum = k->process_range(0, half);  // S1 on the EDT
+  s2_progress(env);                               // S2
+  sum += k->process_range(half, k->units());      // S3 on the EDT
+  sink_add(env, sum);
+  s4_finish(env, token);                          // S4
+}
+
+void handle_swing_worker(GuiBenchEnv& env, const event::CompletionToken& token) {
+  auto worker =
+      std::make_shared<KernelWorker>(env, env.kernels.acquire(), token);
+  worker->execute();
+}
+
+// The offloaded body shared by ExecutorService and thread-per-request: the
+// hand-written continuation-passing structure of the paper's Figure 4.
+exec::Task offloaded_body(GuiBenchEnv& env, KernelLease k,
+                          event::CompletionToken token) {
+  return [&env, k = std::move(k), token]() {
+    const long half = k->units() / 2;
+    std::uint64_t sum = k->process_range(0, half);  // S1
+    env.edt.invoke_later([&env] { s2_progress(env); });  // S2 hop
+    sum += k->process_range(half, k->units());      // S3
+    sink_add(env, sum);
+    // S4 hop; the lease rides along so the kernel is only reused after S4.
+    env.edt.invoke_later([&env, token, k] { s4_finish(env, token); });
+  };
+}
+
+void handle_executor_service(GuiBenchEnv& env,
+                             const event::CompletionToken& token) {
+  env.executor_service->execute(
+      offloaded_body(env, env.kernels.acquire(), token));
+}
+
+void handle_thread_per_request(GuiBenchEnv& env,
+                               const event::CompletionToken& token) {
+  env.thread_per_request->reap();  // opportunistically join finished threads
+  env.thread_per_request->launch(
+      offloaded_body(env, env.kernels.acquire(), token));
+}
+
+void handle_pyjama(GuiBenchEnv& env, const event::CompletionToken& token) {
+  KernelLease k = env.kernels.acquire();
+  // //#omp target virtual(worker) nowait      (paper Figure 6 structure)
+  env.rt.target("worker").nowait([&env, k, token] {
+    const long half = k->units() / 2;
+    std::uint64_t sum = k->process_range(0, half);  // S1
+    // //#omp target virtual(edt) nowait
+    env.rt.target("edt").nowait([&env] { s2_progress(env); });  // S2
+    sum += k->process_range(half, k->units());      // S3
+    sink_add(env, sum);
+    // //#omp target virtual(edt) nowait
+    env.rt.target("edt").nowait([&env, token, k] { s4_finish(env, token); });
+  });
+}
+
+void handle_sync_parallel(GuiBenchEnv& env,
+                          const event::CompletionToken& token) {
+  // The EDT is the fork-join master: it stays inside the region until the
+  // team completes (the paper's synchronous-parallel drawback).
+  KernelLease k = env.kernels.acquire();
+  const long half = k->units() / 2;
+  std::uint64_t sum = k->run_parallel_range(*env.sync_team, 0, half);  // S1
+  s2_progress(env);                                                    // S2
+  sum += k->run_parallel_range(*env.sync_team, half, k->units());      // S3
+  sink_add(env, sum);
+  s4_finish(env, token);                                               // S4
+}
+
+void handle_async_parallel(GuiBenchEnv& env,
+                           const event::CompletionToken& token) {
+  KernelLease k = env.kernels.acquire();
+  const int width = env.parallel_width;
+  // //#omp target virtual(worker) nowait { ... #pragma omp parallel ... }
+  env.rt.target("worker").nowait([&env, k, token, width] {
+    // Each parallelised event spawns its own team, as the paper observes
+    // of per-event `omp parallel` use.
+    fj::Team team(width);
+    const long half = k->units() / 2;
+    std::uint64_t sum = k->run_parallel_range(team, 0, half);       // S1
+    env.rt.target("edt").nowait([&env] { s2_progress(env); });      // S2
+    sum += k->run_parallel_range(team, half, k->units());           // S3
+    sink_add(env, sum);
+    env.rt.target("edt").nowait([&env, token, k] { s4_finish(env, token); });
+  });
+}
+
+}  // namespace
+
+std::string_view to_string(Approach a) noexcept {
+  switch (a) {
+    case Approach::kSequential: return "sequential";
+    case Approach::kSwingWorker: return "swingworker";
+    case Approach::kExecutorService: return "executorservice";
+    case Approach::kThreadPerRequest: return "threadperrequest";
+    case Approach::kPyjama: return "pyjama";
+    case Approach::kSyncParallel: return "syncparallel";
+    case Approach::kAsyncParallel: return "asyncparallel";
+  }
+  return "?";
+}
+
+std::optional<Approach> parse_approach(std::string_view name) noexcept {
+  for (Approach a : all_approaches()) {
+    if (to_string(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Approach>& all_approaches() {
+  static const std::vector<Approach> approaches{
+      Approach::kSequential,      Approach::kSwingWorker,
+      Approach::kExecutorService, Approach::kThreadPerRequest,
+      Approach::kPyjama,          Approach::kSyncParallel,
+      Approach::kAsyncParallel,
+  };
+  return approaches;
+}
+
+void handle_event(Approach approach, GuiBenchEnv& env, std::size_t /*index*/,
+                  const event::CompletionToken& token) {
+  env.status.set_text("Started EDT handling");
+  switch (approach) {
+    case Approach::kSequential: handle_sequential(env, token); break;
+    case Approach::kSwingWorker: handle_swing_worker(env, token); break;
+    case Approach::kExecutorService:
+      handle_executor_service(env, token);
+      break;
+    case Approach::kThreadPerRequest:
+      handle_thread_per_request(env, token);
+      break;
+    case Approach::kPyjama: handle_pyjama(env, token); break;
+    case Approach::kSyncParallel: handle_sync_parallel(env, token); break;
+    case Approach::kAsyncParallel: handle_async_parallel(env, token); break;
+  }
+}
+
+}  // namespace evmp::baselines

@@ -1,0 +1,85 @@
+#pragma once
+// The event-handling approaches compared in the paper's §V.A (Figures 7-8).
+//
+// Every approach implements the same handler logic (paper Figure 2):
+//   S1: first half of the kernel          (background candidate)
+//   S2: progress update to the GUI        (EDT-only)
+//   S3: second half of the kernel         (background candidate)
+//   S4: final GUI update + completion     (EDT-only)
+//
+// What differs is *how* S1/S3 leave the EDT and how S2/S4 come back:
+//   kSequential       — everything inline on the EDT (paper: "sequential")
+//   kSwingWorker      — SwingWorker: doInBackground/publish/process/done
+//   kExecutorService  — submit to a fixed pool + invoke_later for GUI
+//   kThreadPerRequest — a new thread per event (§II.A's traditional model)
+//   kPyjama           — EventMP directives (target virtual worker/edt)
+//   kSyncParallel     — kernel parallelised with fork-join, EDT is master
+//                       and stays trapped in the region ("synchronous
+//                       parallel ... the EDT still does part of the
+//                       computing job")
+//   kAsyncParallel    — Pyjama offload + fork-join inside the target block
+//                       ("asynchronous parallel")
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/executor_service.hpp"
+#include "baselines/thread_per_request.hpp"
+#include "kernels/kernel_pool.hpp"
+#include "core/runtime.hpp"
+#include "event/gui.hpp"
+#include "event/load.hpp"
+#include "forkjoin/team.hpp"
+
+namespace evmp::baselines {
+
+enum class Approach {
+  kSequential,
+  kSwingWorker,
+  kExecutorService,
+  kThreadPerRequest,
+  kPyjama,
+  kSyncParallel,
+  kAsyncParallel,
+};
+
+/// Display name used by benchmarks ("sequential", "swingworker", ...).
+std::string_view to_string(Approach a) noexcept;
+
+/// Parse a display name; nullopt for unknown strings.
+std::optional<Approach> parse_approach(std::string_view name) noexcept;
+
+/// All approaches in report order.
+const std::vector<Approach>& all_approaches();
+
+/// Shared environment for one benchmark configuration. The referenced
+/// objects must outlive all in-flight handlers.
+struct GuiBenchEnv {
+  event::EventLoop& edt;            ///< the EDT (registered as "edt" in rt)
+  Runtime& rt;                      ///< runtime with "worker"/"edt" targets
+  event::Label& status;             ///< S4 target widget
+  event::ProgressBar& progress;     ///< S2 target widget
+  kernels::KernelPool& kernels;     ///< per-request kernel instances
+
+  ExecutorService* executor_service = nullptr;    ///< kExecutorService only
+  ThreadPerRequest* thread_per_request = nullptr; ///< kThreadPerRequest only
+  fj::Team* sync_team = nullptr;                  ///< kSyncParallel only
+
+  /// Team width for the parallel variants (paper: EDT + 3 workers).
+  int parallel_width = 4;
+
+  /// Checksum sink: keeps kernel results observable.
+  std::atomic<std::uint64_t>* sink = nullptr;
+};
+
+/// Handle one event under the given approach. Must be called on the EDT
+/// (it is the body of the button-click callback). `token.complete()` fires
+/// when the request's S4 ran — possibly asynchronously, after this returns.
+void handle_event(Approach approach, GuiBenchEnv& env, std::size_t index,
+                  const event::CompletionToken& token);
+
+}  // namespace evmp::baselines

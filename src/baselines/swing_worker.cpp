@@ -1,0 +1,11 @@
+#include "baselines/swing_worker.hpp"
+
+namespace evmp::baselines {
+
+exec::ThreadPoolExecutor& swing_worker_pool() {
+  static exec::ThreadPoolExecutor pool("swingworker-pool",
+                                       kSwingWorkerPoolThreads);
+  return pool;
+}
+
+}  // namespace evmp::baselines

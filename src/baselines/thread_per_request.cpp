@@ -1,0 +1,52 @@
+#include "baselines/thread_per_request.hpp"
+
+#include <algorithm>
+
+namespace evmp::baselines {
+
+ThreadPerRequest::~ThreadPerRequest() { join_all(); }
+
+void ThreadPerRequest::launch(exec::Task task) {
+  auto finished = std::make_shared<std::atomic<bool>>(false);
+  launched_.fetch_add(1, std::memory_order_relaxed);
+  const auto live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto peak = peak_live_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_live_.compare_exchange_weak(peak, live,
+                                           std::memory_order_relaxed)) {
+  }
+  std::jthread t([this, finished, fn = std::move(task)]() mutable {
+    fn();
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    finished->store(true, std::memory_order_release);
+  });
+  std::scoped_lock lk(mu_);
+  entries_.push_back(Entry{std::move(finished), std::move(t)});
+}
+
+std::size_t ThreadPerRequest::reap() {
+  std::vector<Entry> done;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = std::partition(entries_.begin(), entries_.end(),
+                             [](const Entry& e) {
+                               return !e.finished->load(
+                                   std::memory_order_acquire);
+                             });
+    done.assign(std::make_move_iterator(it),
+                std::make_move_iterator(entries_.end()));
+    entries_.erase(it, entries_.end());
+  }
+  return done.size();  // joined by jthread destructors
+}
+
+void ThreadPerRequest::join_all() {
+  std::vector<Entry> all;
+  {
+    std::scoped_lock lk(mu_);
+    all.swap(entries_);
+  }
+  all.clear();  // joins
+}
+
+}  // namespace evmp::baselines

@@ -1,0 +1,57 @@
+#pragma once
+// The "most traditional approach ... thread-per-request" of §II.A: every
+// offloaded handler gets a newly spawned thread. Kept as a baseline to
+// demonstrate the scalability drawback the paper describes (thread creation
+// and scheduling overhead under load).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "executor/executor.hpp"
+
+namespace evmp::baselines {
+
+/// Spawns one thread per launched task. Threads are reaped opportunistically
+/// and all joined on destruction (no detach — Core Guidelines CP.26).
+class ThreadPerRequest {
+ public:
+  ThreadPerRequest() = default;
+  ~ThreadPerRequest();
+  ThreadPerRequest(const ThreadPerRequest&) = delete;
+  ThreadPerRequest& operator=(const ThreadPerRequest&) = delete;
+
+  /// Run `task` on a brand new thread.
+  void launch(exec::Task task);
+
+  /// Join threads whose task already finished; returns how many were reaped.
+  std::size_t reap();
+
+  /// Block until every launched task finished and its thread was joined.
+  void join_all();
+
+  [[nodiscard]] std::uint64_t launched() const noexcept {
+    return launched_.load(std::memory_order_relaxed);
+  }
+  /// Highest number of simultaneously live threads observed.
+  [[nodiscard]] std::uint64_t peak_live() const noexcept {
+    return peak_live_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<std::atomic<bool>> finished;
+    std::jthread thread;
+  };
+
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::atomic<std::uint64_t> launched_{0};
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> peak_live_{0};
+};
+
+}  // namespace evmp::baselines

@@ -1,0 +1,36 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace evmp::common {
+
+void precise_sleep(Nanos d) {
+  if (d <= Nanos{0}) return;
+  const TimePoint deadline = now() + d;
+  // Leave ~200us of slack for the OS timer, then spin out the remainder.
+  constexpr Nanos kSlack{200'000};
+  if (d > kSlack) {
+    std::this_thread::sleep_for(d - kSlack);
+  }
+  while (now() < deadline) {
+    // A yield keeps the single-core container schedulable while we trim
+    // the tail of the interval.
+    std::this_thread::yield();
+  }
+}
+
+std::uint64_t busy_spin(Nanos d) noexcept {
+  const TimePoint deadline = now() + d;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  do {
+    // A short burst between clock reads keeps clock overhead negligible.
+    for (int i = 0; i < 64; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+  } while (now() < deadline);
+  return x;
+}
+
+}  // namespace evmp::common

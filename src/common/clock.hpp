@@ -1,0 +1,66 @@
+#pragma once
+// Timing utilities shared by the runtime, benchmarks and tests.
+//
+// All durations in this codebase are steady-clock based; wall-clock time is
+// never used for measurement (it can jump).
+
+#include <chrono>
+#include <cstdint>
+
+namespace evmp::common {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Nanos = std::chrono::nanoseconds;
+using Micros = std::chrono::microseconds;
+using Millis = std::chrono::milliseconds;
+
+/// Current steady-clock time.
+inline TimePoint now() noexcept { return Clock::now(); }
+
+/// Nanoseconds elapsed between two time points (b - a).
+inline std::int64_t elapsed_ns(TimePoint a, TimePoint b) noexcept {
+  return std::chrono::duration_cast<Nanos>(b - a).count();
+}
+
+/// Convert a duration to fractional milliseconds (for reporting).
+template <class Rep, class Period>
+double to_ms(std::chrono::duration<Rep, Period> d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Convert a duration to fractional seconds (for reporting).
+template <class Rep, class Period>
+double to_sec(std::chrono::duration<Rep, Period> d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// A restartable stopwatch around the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now()) {}
+
+  /// Restart timing from the current instant.
+  void reset() noexcept { start_ = now(); }
+
+  /// Elapsed time since construction or the last reset().
+  [[nodiscard]] Nanos elapsed() const noexcept {
+    return std::chrono::duration_cast<Nanos>(now() - start_);
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept { return to_ms(elapsed()); }
+  [[nodiscard]] double elapsed_sec() const noexcept { return to_sec(elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+/// Sleep with sub-millisecond accuracy: coarse sleep for the bulk of the
+/// interval, then spin for the tail. Used by the simulated work model, where
+/// sleep accuracy directly controls experiment fidelity.
+void precise_sleep(Nanos d);
+
+/// Burn CPU for approximately `d` by chaining a cheap integer recurrence.
+/// Returns a value data-dependent on the loop so the work cannot be elided.
+std::uint64_t busy_spin(Nanos d) noexcept;
+
+}  // namespace evmp::common

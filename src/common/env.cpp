@@ -1,0 +1,39 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace evmp::common {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<long> env_long(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> env_bool(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+}  // namespace evmp::common

@@ -1,0 +1,19 @@
+#pragma once
+// Environment-variable helpers: EventMP's internal control variables (ICVs)
+// can be seeded from the environment, mirroring OMP_* conventions.
+
+#include <optional>
+#include <string>
+
+namespace evmp::common {
+
+/// Raw getenv as optional<string>.
+std::optional<std::string> env_string(const char* name);
+
+/// Parse an integer environment variable; nullopt if unset or malformed.
+std::optional<long> env_long(const char* name);
+
+/// Parse a boolean ("1/true/yes/on" vs "0/false/no/off", case-insensitive).
+std::optional<bool> env_bool(const char* name);
+
+}  // namespace evmp::common

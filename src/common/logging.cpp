@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/env.hpp"
+
+namespace evmp::common {
+
+namespace {
+
+std::atomic<int> g_level = [] {
+  if (auto v = env_long("EVMP_LOG_LEVEL")) {
+    return static_cast<int>(*v);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  // One fprintf call per line: POSIX stdio is internally locked, so lines
+  // from different threads never interleave.
+  std::fprintf(stderr, "[evmp:%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace evmp::common

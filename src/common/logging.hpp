@@ -1,0 +1,48 @@
+#pragma once
+// Thread-safe leveled logging. Off by default above WARN so benchmark output
+// stays clean; tests can raise verbosity via EVMP_LOG_LEVEL.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace evmp::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit one log line (thread-safe, single write to stderr).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace evmp::common
+
+#define EVMP_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::evmp::common::log_level())) \
+    ;                                                                \
+  else                                                               \
+    ::evmp::common::detail::LogLine(level)
+
+#define EVMP_LOG_DEBUG EVMP_LOG(::evmp::common::LogLevel::kDebug)
+#define EVMP_LOG_INFO EVMP_LOG(::evmp::common::LogLevel::kInfo)
+#define EVMP_LOG_WARN EVMP_LOG(::evmp::common::LogLevel::kWarn)
+#define EVMP_LOG_ERROR EVMP_LOG(::evmp::common::LogLevel::kError)

@@ -1,0 +1,106 @@
+#pragma once
+// Thread-safe queues used by executors and the event loop.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace evmp::common {
+
+/// Unbounded multi-producer multi-consumer FIFO with blocking pop and a
+/// cooperative close() for shutdown. The workhorse behind ThreadPoolExecutor
+/// and the event queue. Mutex-based by design: queue depths in this system
+/// are small and correctness under shutdown matters more than raw ops/sec.
+template <class T>
+class MpmcQueue {
+ public:
+  MpmcQueue() = default;
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Push an item. Returns false (drops the item) if the queue is closed.
+  /// The notify happens under the lock: once the mutex is released, a
+  /// consumer may pop the item, conclude the program phase, and destroy
+  /// this queue — notifying after unlock would then touch a dead cv.
+  bool push(T item) {
+    std::scoped_lock lk(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Push to the front (priority delivery, e.g. shutdown sentinels).
+  bool push_front(T item) {
+    std::scoped_lock lk(mu_);
+    if (closed_) return false;
+    items_.push_front(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  /// Returns nullopt only on closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::scoped_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Block up to `timeout`; nullopt on timeout or closed-and-empty.
+  template <class Rep, class Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!cv_.wait_for(lk, timeout,
+                      [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Close the queue: pending items remain poppable, new pushes are refused,
+  /// blocked consumers wake once the queue drains.
+  void close() {
+    std::scoped_lock lk(mu_);
+    closed_ = true;
+    cv_.notify_all();  // under the lock: see push()
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lk(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace evmp::common

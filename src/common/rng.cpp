@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+namespace evmp::common {
+
+double Xoshiro256::next_gaussian() noexcept {
+  // Box-Muller transform on two fresh uniforms.
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return r * std::cos(kTwoPi * u2);
+}
+
+}  // namespace evmp::common

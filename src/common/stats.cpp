@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace evmp::common {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formula.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void PercentileSampler::merge(const PercentileSampler& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+double PercentileSampler::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+void PercentileSampler::ensure_sorted() const {
+  if (!sorted_) {
+    auto& v = const_cast<std::vector<double>&>(samples_);
+    std::sort(v.begin(), v.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double PercentileSampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) noexcept {
+  if (ns < (1u << kSubBits)) return static_cast<std::size_t>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  const int sub =
+      static_cast<int>((ns >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+  return static_cast<std::size_t>(((msb - kSubBits + 1) << kSubBits) + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_midpoint(std::size_t b) noexcept {
+  if (b < (1u << kSubBits)) return b;
+  const std::size_t exp = (b >> kSubBits) + kSubBits - 1;
+  const std::uint64_t sub = b & ((1u << kSubBits) - 1);
+  const std::uint64_t base = (1ull << exp) + (sub << (exp - kSubBits));
+  const std::uint64_t width = 1ull << (exp - kSubBits);
+  return base + width / 2;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  counts_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  n_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::total_count() const noexcept {
+  return n_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= target) return bucket_midpoint(b);
+  }
+  return bucket_midpoint(counts_.size() - 1);
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_count() << " mean=" << mean_ns() / 1e6 << "ms"
+     << " p50=" << static_cast<double>(percentile(0.50)) / 1e6 << "ms"
+     << " p99=" << static_cast<double>(percentile(0.99)) / 1e6 << "ms"
+     << " max=" << static_cast<double>(percentile(1.0)) / 1e6 << "ms";
+  return os.str();
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  n_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace evmp::common

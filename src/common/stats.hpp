@@ -1,0 +1,99 @@
+#pragma once
+// Measurement accumulators used by every benchmark harness: online
+// mean/variance, exact percentile samples, and a log-bucketed latency
+// histogram for cheap concurrent recording.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evmp::common {
+
+/// Welford's online mean/variance accumulator. Single-writer.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample and answers exact percentile queries.
+/// Single-writer; merge before querying from other threads.
+class PercentileSampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void merge(const PercentileSampler& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact percentile by nearest-rank with linear interpolation; q in [0,1].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+  [[nodiscard]] double max() const { return percentile(1.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  void clear() noexcept { samples_.clear(); sorted_ = true; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Thread-safe log-bucketed histogram of nanosecond latencies.
+/// Buckets are [2^k, 2^(k+1)) with 8 sub-buckets each (HDR-style), giving
+/// <= 12.5% relative error — enough for response-time distributions while
+/// letting any number of threads record concurrently without locks.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Record one latency measurement in nanoseconds. Wait-free.
+  void record(std::uint64_t ns) noexcept;
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+  /// Approximate percentile (ns); q in [0,1]. Returns 0 if empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+  [[nodiscard]] double mean_ns() const noexcept;
+
+  /// Render a compact human-readable summary line (count/mean/p50/p99/max).
+  [[nodiscard]] std::string summary() const;
+
+  void reset() noexcept;
+
+ private:
+  static constexpr int kSubBits = 3;                 // 8 sub-buckets
+  static constexpr int kBuckets = 64 << kSubBits;    // covers full u64 range
+  static std::size_t bucket_of(std::uint64_t ns) noexcept;
+  static std::uint64_t bucket_midpoint(std::size_t b) noexcept;
+
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> n_{0};
+};
+
+}  // namespace evmp::common

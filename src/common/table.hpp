@@ -1,0 +1,40 @@
+#pragma once
+// Fixed-width table and CSV emitters used by every bench binary so that
+// reproduced figures/tables print in a uniform, diffable format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace evmp::common {
+
+/// Collects rows of string cells and prints them as an aligned text table.
+class TextTable {
+ public:
+  /// Define the header row; fixes the column count.
+  void set_header(std::vector<std::string> cols);
+
+  /// Append a data row. Rows shorter than the header are right-padded.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-align.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header first).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 2 decimal places).
+std::string fmt(double v, int precision = 2);
+
+/// Write a TextTable to a CSV file under the given path, creating parent
+/// directories if needed. Returns false on I/O failure.
+bool write_csv(const TextTable& table, const std::string& path);
+
+}  // namespace evmp::common

@@ -1,0 +1,95 @@
+#pragma once
+// AST of the extended target directive (paper Figure 5):
+//
+//   #pragma omp target [clause[,] clause ...]  structured-block
+//     target-property-clause:   device(device-number) | virtual(name-tag)
+//     scheduling-property-clause: nowait | name_as(name-tag) | await
+//     data-handling-clause:     default(shared|none) | firstprivate(list)
+//                               | map(to|from|tofrom: list)
+//     if-clause:                if(expression)
+//
+// plus the standalone  #pragma omp wait(name-tag)  join directive.
+// The Java spelling  //#omp ...  is accepted as well (§III-B).
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/async_mode.hpp"
+
+namespace evmp::compiler {
+
+/// Parse/translation failure, with 1-based source line attribution.
+class TranslateError : public std::runtime_error {
+ public:
+  TranslateError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A parsed directive.
+struct Directive {
+  enum class Kind {
+    kTarget,       ///< the extended target directive (the paper's proposal)
+    kWait,         ///< standalone wait(name-tag)
+    kParallel,     ///< traditional #pragma omp parallel
+    kParallelFor,  ///< traditional #pragma omp parallel for
+  };
+
+  Kind kind = Kind::kTarget;
+  int line = 0;  ///< 1-based line of the directive in the original source
+
+  // target-property-clause (at most one; neither means the default target)
+  std::optional<std::string> virtual_name;
+  std::optional<int> device_id;
+
+  // scheduling-property-clause
+  Async mode = Async::kDefault;
+  std::string name_tag;  ///< for name_as(tag)
+
+  // wait directive / clause
+  std::string wait_tag;
+
+  // if-clause (raw C++ expression text; empty = none)
+  std::string if_condition;
+
+  // data-handling-clause
+  bool default_none = false;              ///< default(none) given
+  std::vector<std::string> firstprivate;  ///< by-value captures
+  std::vector<std::string> map_to;
+  std::vector<std::string> map_from;
+
+  // traditional-directive clauses (kParallel / kParallelFor)
+  std::string schedule_kind;   ///< "static" | "dynamic" | "guided" ("" = static)
+  std::string schedule_chunk;  ///< raw chunk expression ("" = default)
+  std::string num_threads;     ///< raw expression ("" = the default team)
+  std::vector<std::string> privates;  ///< private(list)
+  struct Reduction {
+    std::string op;   ///< +, -, *, min, max, &, |, ^, &&, ||
+    std::string var;  ///< reduction variable name
+  };
+  std::vector<Reduction> reductions;  ///< reduction(op: list)
+
+  /// Runtime target name this directive resolves to: the virtual name,
+  /// "device:<n>", or empty (default target ICV).
+  [[nodiscard]] std::string target_name() const {
+    if (virtual_name) return *virtual_name;
+    if (device_id) return "device:" + std::to_string(*device_id);
+    return {};
+  }
+
+  [[nodiscard]] bool is_device() const noexcept {
+    return device_id.has_value();
+  }
+};
+
+/// Parse the directive text that follows the `#pragma omp` / `//#omp`
+/// sentinel (e.g. "target virtual(worker) nowait"). Throws TranslateError.
+Directive parse_directive(const std::string& text, int line);
+
+}  // namespace evmp::compiler

@@ -1,0 +1,308 @@
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "compilerlib/directive.hpp"
+
+namespace evmp::compiler {
+
+namespace {
+
+/// Cursor over the directive text with small lexing helpers.
+class Cursor {
+ public:
+  Cursor(const std::string& text, int line) : text_(text), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  /// Read an identifier ([A-Za-z_][A-Za-z0-9_]*); empty if none.
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Read a balanced parenthesised argument "( ... )" and return the inner
+  /// text; returns nullopt if the next token is not '('.
+  std::optional<std::string> paren_arg() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '(') return std::nullopt;
+    int depth = 0;
+    const std::size_t start = pos_ + 1;
+    for (std::size_t i = pos_; i < text_.size(); ++i) {
+      if (text_[i] == '(') ++depth;
+      if (text_[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          std::string inner = text_.substr(start, i - start);
+          pos_ = i + 1;
+          return inner;
+        }
+      }
+    }
+    throw TranslateError(line_, "unbalanced '(' in directive clause");
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw TranslateError(line_, message);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+const char* kReductionOps[] = {"+", "-", "*", "min", "max",
+                               "&", "|", "^", "&&", "||"};
+
+bool is_reduction_op(const std::string& op) {
+  for (const char* known : kReductionOps) {
+    if (op == known) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && (s[i] == '(' || s[i] == '[' || s[i] == '<')) ++depth;
+    if (i < s.size() && (s[i] == ')' || s[i] == ']' || s[i] == '>')) --depth;
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      std::string item = trim(s.substr(start, i - start));
+      if (!item.empty()) out.push_back(std::move(item));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Directive parse_directive(const std::string& text, int line) {
+  Directive d;
+  d.line = line;
+  Cursor cur(text, line);
+
+  const std::string head = cur.ident();
+  if (head == "wait") {
+    d.kind = Directive::Kind::kWait;
+    auto tag = cur.paren_arg();
+    if (!tag || trim(*tag).empty()) {
+      cur.fail("wait directive requires (name-tag)");
+    }
+    d.wait_tag = trim(*tag);
+    if (!cur.at_end()) cur.fail("unexpected text after wait(name-tag)");
+    return d;
+  }
+  // Traditional OpenMP: parallel / parallel for, with their own clause set.
+  std::string pending_clause;
+  if (head == "parallel") {
+    d.kind = Directive::Kind::kParallel;
+    const std::string next = cur.ident();
+    if (next == "for") {
+      d.kind = Directive::Kind::kParallelFor;
+    } else {
+      pending_clause = next;  // already-read first clause name (may be "")
+    }
+    while (true) {
+      std::string clause;
+      if (!pending_clause.empty()) {
+        clause = std::exchange(pending_clause, std::string{});
+      } else {
+        if (cur.at_end()) break;
+        clause = cur.ident();
+      }
+      if (clause.empty()) {
+        if (cur.at_end()) break;
+        cur.fail("malformed clause");
+      }
+      if (clause == "schedule") {
+        if (d.kind != Directive::Kind::kParallelFor) {
+          cur.fail("schedule clause requires 'parallel for'");
+        }
+        auto arg = cur.paren_arg();
+        if (!arg) cur.fail("schedule clause requires (kind[, chunk])");
+        auto parts = split_list(*arg);
+        if (parts.empty()) cur.fail("schedule clause is empty");
+        d.schedule_kind = parts[0];
+        if (d.schedule_kind != "static" && d.schedule_kind != "dynamic" &&
+            d.schedule_kind != "guided") {
+          cur.fail("unknown schedule kind '" + d.schedule_kind + "'");
+        }
+        if (parts.size() > 1) d.schedule_chunk = parts[1];
+        if (parts.size() > 2) cur.fail("schedule clause takes at most chunk");
+      } else if (clause == "num_threads") {
+        auto arg = cur.paren_arg();
+        if (!arg || trim(*arg).empty()) {
+          cur.fail("num_threads clause requires (expression)");
+        }
+        d.num_threads = trim(*arg);
+      } else if (clause == "reduction") {
+        if (d.kind != Directive::Kind::kParallelFor) {
+          cur.fail("reduction is only supported on 'parallel for'");
+        }
+        auto arg = cur.paren_arg();
+        if (!arg) cur.fail("reduction clause requires (op: list)");
+        const auto colon = arg->find(':');
+        if (colon == std::string::npos) {
+          cur.fail("reduction clause requires 'op: list'");
+        }
+        const std::string op = trim(arg->substr(0, colon));
+        if (!is_reduction_op(op)) {
+          cur.fail("unsupported reduction operator '" + op + "'");
+        }
+        const auto vars = split_list(arg->substr(colon + 1));
+        if (vars.empty()) cur.fail("reduction clause lists no variables");
+        for (const auto& v : vars) {
+          d.reductions.push_back(Directive::Reduction{op, v});
+        }
+      } else if (clause == "private") {
+        auto arg = cur.paren_arg();
+        if (!arg) cur.fail("private clause requires (list)");
+        for (auto& v : split_list(*arg)) d.privates.push_back(v);
+      } else if (clause == "firstprivate") {
+        auto arg = cur.paren_arg();
+        if (!arg) cur.fail("firstprivate clause requires (list)");
+        for (auto& v : split_list(*arg)) d.firstprivate.push_back(v);
+      } else if (clause == "if") {
+        auto cond = cur.paren_arg();
+        if (!cond || trim(*cond).empty()) {
+          cur.fail("if clause requires (expression)");
+        }
+        d.if_condition = trim(*cond);
+      } else if (clause == "default") {
+        auto arg = cur.paren_arg();
+        if (!arg) cur.fail("default clause requires (shared|none)");
+        const std::string v = trim(*arg);
+        if (v == "none") {
+          d.default_none = true;
+        } else if (v != "shared") {
+          cur.fail("default clause accepts only shared or none");
+        }
+      } else {
+        cur.fail("unknown clause '" + clause + "' on parallel directive");
+      }
+    }
+    return d;
+  }
+
+  if (head != "target") {
+    cur.fail("expected 'target', 'wait' or 'parallel' directive, got '" +
+             head + "'");
+  }
+
+  bool have_target_property = false;
+  bool have_scheduling = false;
+  while (!cur.at_end()) {
+    const std::string clause = cur.ident();
+    if (clause.empty()) cur.fail("malformed clause");
+
+    if (clause == "virtual" || clause == "device") {
+      if (have_target_property) {
+        cur.fail("duplicate target-property-clause");
+      }
+      have_target_property = true;
+      auto arg = cur.paren_arg();
+      if (!arg) cur.fail(clause + " clause requires an argument");
+      const std::string value = trim(*arg);
+      if (value.empty()) cur.fail(clause + " clause argument is empty");
+      if (clause == "virtual") {
+        d.virtual_name = value;
+      } else {
+        char* end = nullptr;
+        const long id = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          cur.fail("device clause requires an integer device-number");
+        }
+        d.device_id = static_cast<int>(id);
+      }
+    } else if (clause == "nowait" || clause == "await" ||
+               clause == "name_as") {
+      if (have_scheduling) cur.fail("duplicate scheduling-property-clause");
+      have_scheduling = true;
+      if (clause == "nowait") {
+        d.mode = Async::kNowait;
+      } else if (clause == "await") {
+        d.mode = Async::kAwait;
+      } else {
+        auto tag = cur.paren_arg();
+        if (!tag || trim(*tag).empty()) {
+          cur.fail("name_as clause requires (name-tag)");
+        }
+        d.mode = Async::kNameAs;
+        d.name_tag = trim(*tag);
+      }
+    } else if (clause == "if") {
+      auto cond = cur.paren_arg();
+      if (!cond || trim(*cond).empty()) {
+        cur.fail("if clause requires (expression)");
+      }
+      d.if_condition = trim(*cond);
+    } else if (clause == "default") {
+      auto arg = cur.paren_arg();
+      if (!arg) cur.fail("default clause requires (shared|none)");
+      const std::string v = trim(*arg);
+      if (v == "none") {
+        d.default_none = true;
+      } else if (v != "shared") {
+        cur.fail("default clause accepts only shared or none");
+      }
+    } else if (clause == "firstprivate") {
+      auto arg = cur.paren_arg();
+      if (!arg) cur.fail("firstprivate clause requires (list)");
+      for (auto& v : split_list(*arg)) d.firstprivate.push_back(v);
+    } else if (clause == "map") {
+      auto arg = cur.paren_arg();
+      if (!arg) cur.fail("map clause requires (to|from|tofrom: list)");
+      const std::string inner = trim(*arg);
+      const auto colon = inner.find(':');
+      if (colon == std::string::npos) {
+        cur.fail("map clause requires a to/from/tofrom map-type");
+      }
+      const std::string type = trim(inner.substr(0, colon));
+      auto items = split_list(inner.substr(colon + 1));
+      if (type == "to") {
+        d.map_to.insert(d.map_to.end(), items.begin(), items.end());
+      } else if (type == "from") {
+        d.map_from.insert(d.map_from.end(), items.begin(), items.end());
+      } else if (type == "tofrom") {
+        d.map_to.insert(d.map_to.end(), items.begin(), items.end());
+        d.map_from.insert(d.map_from.end(), items.begin(), items.end());
+      } else {
+        cur.fail("unknown map-type '" + type + "'");
+      }
+    } else {
+      cur.fail("unknown clause '" + clause + "'");
+    }
+  }
+  return d;
+}
+
+}  // namespace evmp::compiler

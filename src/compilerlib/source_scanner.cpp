@@ -1,0 +1,247 @@
+#include "compilerlib/source_scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "compilerlib/directive.hpp"
+
+namespace evmp::compiler {
+
+SourceScanner::SourceScanner(std::string_view source) : src_(source) {
+  classes_.assign(src_.size(), CharClass::kCode);
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    if (src_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+  classify();
+}
+
+void SourceScanner::classify() {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    const char c = src_[i];
+    const char next = i + 1 < src_.size() ? src_[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          classes_[i] = CharClass::kLineComment;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          classes_[i] = CharClass::kBlockComment;
+        } else if (c == '"' &&
+                   (i > 0 && (src_[i - 1] == 'R') &&
+                    (i < 2 ||
+                     (std::isalnum(static_cast<unsigned char>(src_[i - 2])) ==
+                          0 &&
+                      src_[i - 2] != '_')))) {
+          // Raw string literal R"delim( ... )delim".
+          state = State::kRawString;
+          classes_[i] = CharClass::kString;
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < src_.size() && src_[j] != '(') {
+            raw_delim.push_back(src_[j]);
+            ++j;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          classes_[i] = CharClass::kString;
+        } else if (c == '\'') {
+          // Heuristic: treat as char literal only when it does not look
+          // like a digit separator (e.g. 1'000'000).
+          const bool digit_sep =
+              i > 0 &&
+              std::isdigit(static_cast<unsigned char>(src_[i - 1])) != 0 &&
+              next != '\0' &&
+              std::isdigit(static_cast<unsigned char>(next)) != 0;
+          if (!digit_sep) {
+            state = State::kChar;
+            classes_[i] = CharClass::kString;
+          }
+        }
+        break;
+      case State::kLineComment:
+        classes_[i] = CharClass::kLineComment;
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlockComment:
+        classes_[i] = CharClass::kBlockComment;
+        if (c == '/' && i > 0 && src_[i - 1] == '*') state = State::kCode;
+        break;
+      case State::kString:
+        classes_[i] = CharClass::kString;
+        if (c == '\\') {
+          if (i + 1 < src_.size()) classes_[++i] = CharClass::kString;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        classes_[i] = CharClass::kString;
+        if (c == '\\') {
+          if (i + 1 < src_.size()) classes_[++i] = CharClass::kString;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        classes_[i] = CharClass::kString;
+        if (c == ')') {
+          const std::string closer = raw_delim + "\"";
+          if (src_.substr(i + 1, closer.size()) == closer) {
+            for (std::size_t j = 0; j < closer.size(); ++j) {
+              classes_[i + 1 + j] = CharClass::kString;
+            }
+            i += closer.size();
+            state = State::kCode;
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Newline terminating a line comment belongs to code again; the loop
+  // above already flips state at '\n' but classifies that byte as comment,
+  // which is harmless for all queries we make.
+}
+
+int SourceScanner::line_of(std::size_t pos) const noexcept {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), pos);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+std::optional<SourceScanner::DirectiveMatch> SourceScanner::find_directive(
+    std::size_t from) const {
+  for (std::size_t i = from; i + 1 < src_.size(); ++i) {
+    // Java-style //#omp inside a line comment.
+    if (src_[i] == '/' && src_[i + 1] == '/' &&
+        classes_[i] == CharClass::kLineComment &&
+        (i == 0 || classes_[i - 1] != CharClass::kLineComment)) {
+      std::size_t j = i + 2;
+      if (j < src_.size() && src_[j] == '#') ++j;  // //#omp or //omp
+      if (src_.substr(j, 3) == "omp" &&
+          (j + 3 >= src_.size() ||
+           std::isalnum(static_cast<unsigned char>(src_[j + 3])) == 0)) {
+        std::size_t end = src_.find('\n', i);
+        if (end == std::string_view::npos) end = src_.size();
+        DirectiveMatch m;
+        m.begin = i;
+        m.end = end;
+        m.text = std::string(src_.substr(j + 3, end - (j + 3)));
+        m.line = line_of(i);
+        return m;
+      }
+    }
+    // C/C++ #pragma omp in code.
+    if (src_[i] == '#' && classes_[i] == CharClass::kCode &&
+        src_.substr(i, 7) == "#pragma") {
+      std::size_t j = i + 7;
+      while (j < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[j])) != 0 &&
+             src_[j] != '\n') {
+        ++j;
+      }
+      if (src_.substr(j, 3) == "omp" &&
+          (j + 3 >= src_.size() ||
+           std::isalnum(static_cast<unsigned char>(src_[j + 3])) == 0)) {
+        // Collect the pragma text, honouring backslash-newline continuation.
+        std::string text;
+        std::size_t line_start = j + 3;
+        std::size_t end;
+        for (;;) {
+          end = src_.find('\n', line_start);
+          if (end == std::string_view::npos) end = src_.size();
+          std::size_t content_end = end;
+          while (content_end > line_start &&
+                 std::isspace(static_cast<unsigned char>(
+                     src_[content_end - 1])) != 0) {
+            --content_end;
+          }
+          const bool continued =
+              content_end > line_start && src_[content_end - 1] == '\\';
+          text.append(src_.substr(line_start, (continued ? content_end - 1
+                                                          : content_end) -
+                                                  line_start));
+          text.push_back(' ');
+          if (!continued || end >= src_.size()) break;
+          line_start = end + 1;
+        }
+        while (!text.empty() &&
+               std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+          text.pop_back();
+        }
+        DirectiveMatch m;
+        m.begin = i;
+        m.end = end;
+        m.text = std::move(text);
+        m.line = line_of(i);
+        return m;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SourceScanner::next_code_char(
+    std::size_t from) const noexcept {
+  for (std::size_t i = from; i < src_.size(); ++i) {
+    if (classes_[i] == CharClass::kCode &&
+        std::isspace(static_cast<unsigned char>(src_[i])) == 0) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+SourceScanner::Block SourceScanner::extract_block(std::size_t from) const {
+  const auto start = next_code_char(from);
+  if (!start) {
+    throw TranslateError(line_of(from),
+                         "directive is not followed by a structured block");
+  }
+  Block block;
+  block.begin = *start;
+  if (src_[*start] == '{') {
+    block.braced = true;
+    int depth = 0;
+    for (std::size_t i = *start; i < src_.size(); ++i) {
+      if (classes_[i] != CharClass::kCode) continue;
+      if (src_[i] == '{') ++depth;
+      if (src_[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          block.end = i + 1;
+          return block;
+        }
+      }
+    }
+    throw TranslateError(line_of(*start),
+                         "unbalanced '{' in structured block");
+  }
+  // Single statement: up to the first ';' at paren/brace depth 0.
+  int depth = 0;
+  for (std::size_t i = *start; i < src_.size(); ++i) {
+    if (classes_[i] != CharClass::kCode) continue;
+    const char c = src_[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ';' && depth == 0) {
+      block.end = i + 1;
+      return block;
+    }
+  }
+  throw TranslateError(line_of(*start),
+                       "statement after directive has no terminating ';'");
+}
+
+}  // namespace evmp::compiler

@@ -1,0 +1,73 @@
+#pragma once
+// Lexical scanning of C++ sources for the evmpcc translator: classifies
+// every character as code / comment / literal so that directive detection
+// and structured-block extraction never misfire inside strings or comments.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evmp::compiler {
+
+/// Character classification for translation purposes.
+enum class CharClass : unsigned char {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,   // string/char/raw-string literal contents (incl. quotes)
+};
+
+/// Pre-scans a source buffer once; all queries are O(span) afterwards.
+class SourceScanner {
+ public:
+  explicit SourceScanner(std::string_view source);
+
+  [[nodiscard]] std::string_view source() const noexcept { return src_; }
+  [[nodiscard]] CharClass at(std::size_t pos) const noexcept {
+    return classes_[pos];
+  }
+
+  /// 1-based line number of a byte offset.
+  [[nodiscard]] int line_of(std::size_t pos) const noexcept;
+
+  /// A directive occurrence: `//#omp ...` inside a line comment, or a
+  /// `#pragma omp ...` line in code.
+  struct DirectiveMatch {
+    std::size_t begin = 0;  ///< first byte of the directive marker
+    std::size_t end = 0;    ///< one past the directive's last byte
+    std::string text;       ///< clause text after the omp sentinel
+    int line = 0;
+  };
+
+  /// Earliest directive at or after `from`; nullopt when none remain.
+  [[nodiscard]] std::optional<DirectiveMatch> find_directive(
+      std::size_t from) const;
+
+  /// The structured block that associates with a directive: either a
+  /// balanced `{...}` compound or a single statement ending at `;`.
+  struct Block {
+    std::size_t begin = 0;  ///< first byte ('{' or statement start)
+    std::size_t end = 0;    ///< one past the closing '}' or ';'
+    bool braced = false;
+  };
+
+  /// Extract the block starting at the first code character at/after
+  /// `from`. Throws TranslateError (via line attribution) on malformed
+  /// input (unbalanced braces, missing block).
+  [[nodiscard]] Block extract_block(std::size_t from) const;
+
+  /// First position >= from whose class is kCode and is not whitespace.
+  [[nodiscard]] std::optional<std::size_t> next_code_char(
+      std::size_t from) const noexcept;
+
+ private:
+  void classify();
+
+  std::string_view src_;
+  std::vector<CharClass> classes_;
+  std::vector<std::size_t> line_starts_;
+};
+
+}  // namespace evmp::compiler

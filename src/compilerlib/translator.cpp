@@ -1,0 +1,534 @@
+#include "compilerlib/translator.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "compilerlib/source_scanner.hpp"
+
+namespace evmp::compiler {
+
+namespace {
+
+std::string trim_copy(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_whitespace(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+/// Split at top-level occurrences of `sep` (paren/bracket aware).
+std::vector<std::string> split_top_level(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && (s[i] == '(' || s[i] == '[' || s[i] == '{')) ++depth;
+    if (i < s.size() && (s[i] == ')' || s[i] == ']' || s[i] == '}')) --depth;
+    if (i == s.size() || (s[i] == sep && depth == 0)) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+/// Build the lambda capture list from the data-handling clauses:
+/// default(shared) -> [&] (+ by-value firstprivates);
+/// default(none)   -> only the listed firstprivates.
+std::string capture_list(const Directive& d) {
+  std::string cap;
+  bool first = true;
+  if (!d.default_none) {
+    cap += "&";
+    first = false;
+  }
+  for (const auto& v : d.firstprivate) {
+    if (!first) cap += ", ";
+    cap += v;
+    first = false;
+  }
+  return "[" + cap + "]";
+}
+
+std::string async_expr(Async mode) {
+  switch (mode) {
+    case Async::kDefault: return "::evmp::Async::kDefault";
+    case Async::kNowait: return "::evmp::Async::kNowait";
+    case Async::kNameAs: return "::evmp::Async::kNameAs";
+    case Async::kAwait: return "::evmp::Async::kAwait";
+  }
+  return "::evmp::Async::kDefault";
+}
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+/// Locate `for ( header )` starting at the first code char at/after `from`.
+/// Returns {header_text, offset one past ')'}.
+std::pair<std::string, std::size_t> extract_for_header(
+    const SourceScanner& scanner, std::size_t from, int line) {
+  const auto src = scanner.source();
+  auto start = scanner.next_code_char(from);
+  if (!start || src.substr(*start, 3) != "for") {
+    throw TranslateError(line,
+                         "'parallel for' directive must precede a for loop");
+  }
+  auto open = scanner.next_code_char(*start + 3);
+  if (!open || src[*open] != '(') {
+    throw TranslateError(line, "malformed for loop after directive");
+  }
+  int depth = 0;
+  for (std::size_t i = *open; i < src.size(); ++i) {
+    if (scanner.at(i) != CharClass::kCode) continue;
+    if (src[i] == '(') ++depth;
+    if (src[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        return {std::string(src.substr(*open + 1, i - *open - 1)), i + 1};
+      }
+    }
+  }
+  throw TranslateError(line, "unbalanced '(' in for loop header");
+}
+
+struct Rewriter {
+  const TranslateOptions& options;
+  int next_region = 0;
+  int rewritten = 0;
+
+  std::string transform(std::string_view src, int base_line = 1) {
+    SourceScanner scanner(src);
+    std::string out;
+    out.reserve(src.size() + 256);
+    std::size_t pos = 0;
+    while (auto m = scanner.find_directive(pos)) {
+      out.append(src.substr(pos, m->begin - pos));
+      const Directive d =
+          parse_directive(m->text, base_line + (m->line - 1));
+      if (d.kind == Directive::Kind::kWait) {
+        out += options.runtime_expr + ".wait_tag(" + quoted(d.wait_tag) + ");";
+        pos = m->end;
+        ++rewritten;
+        continue;
+      }
+      if (d.kind == Directive::Kind::kParallelFor) {
+        const auto [header, after_paren] =
+            extract_for_header(scanner, m->end, d.line);
+        const ForHeader fh = parse_for_header(header, d.line);
+        const auto loop_block = scanner.extract_block(after_paren);
+        std::string_view loop_body =
+            loop_block.braced
+                ? src.substr(loop_block.begin + 1,
+                             loop_block.end - loop_block.begin - 2)
+                : src.substr(loop_block.begin,
+                             loop_block.end - loop_block.begin);
+        const int region_id = next_region++;
+        const std::string body = transform(
+            loop_body, base_line + (scanner.line_of(loop_block.begin) - 1));
+        out += generate_parallel_for(d, fh, body, loop_block.braced,
+                                     region_id);
+        ++rewritten;
+        pos = loop_block.end;
+        continue;
+      }
+      if (d.kind == Directive::Kind::kParallel) {
+        const auto par_block = scanner.extract_block(m->end);
+        std::string_view par_body =
+            par_block.braced
+                ? src.substr(par_block.begin + 1,
+                             par_block.end - par_block.begin - 2)
+                : src.substr(par_block.begin,
+                             par_block.end - par_block.begin);
+        const int region_id = next_region++;
+        const std::string body = transform(
+            par_body, base_line + (scanner.line_of(par_block.begin) - 1));
+        out += generate_parallel(d, body, par_block.braced, region_id);
+        ++rewritten;
+        pos = par_block.end;
+        continue;
+      }
+      const auto block = scanner.extract_block(m->end);
+      std::string_view body_text;
+      if (block.braced) {
+        body_text = src.substr(block.begin + 1,
+                               block.end - block.begin - 2);  // inner text
+      } else {
+        body_text = src.substr(block.begin, block.end - block.begin);
+      }
+      const int region_id = next_region++;
+      // Depth-first: inner directives are rewritten inside the region body.
+      const int body_line =
+          base_line + (scanner.line_of(block.begin) - 1);
+      const std::string body = transform(body_text, body_line);
+      out += generate_invocation(d, body, block.braced, region_id, options);
+      ++rewritten;
+      pos = block.end;
+    }
+    out.append(src.substr(pos));
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string generate_invocation(const Directive& d, const std::string& body,
+                                bool braced, int region_id,
+                                const TranslateOptions& options) {
+  const std::string region = "__evmp_region_" + std::to_string(region_id);
+  std::ostringstream os;
+  os << "{ /* evmpcc line " << d.line << " */\n";
+  os << "  auto " << region << " = " << capture_list(d) << "() {";
+  if (braced) {
+    os << body;
+  } else {
+    os << " " << body << " ";
+  }
+  os << "};\n";
+
+  // map(to:) transfers precede the block (only meaningful for devices;
+  // virtual targets share the host data context, §III-B).
+  const std::string target = d.target_name();
+  if (d.is_device()) {
+    for (const auto& v : d.map_to) {
+      os << "  ::evmp::device_transfer_to(" << quoted(target) << ", sizeof("
+         << v << "));\n";
+    }
+  }
+
+  std::ostringstream call;
+  if (target.empty()) {
+    call << options.runtime_expr << ".invoke_default(std::move(" << region
+         << "), " << async_expr(d.mode);
+    if (d.mode == Async::kNameAs) call << ", " << quoted(d.name_tag);
+    call << ")";
+  } else {
+    call << options.runtime_expr << ".invoke_target_block(" << quoted(target)
+         << ", std::move(" << region << "), " << async_expr(d.mode);
+    if (d.mode == Async::kNameAs) call << ", " << quoted(d.name_tag);
+    call << ")";
+  }
+
+  if (d.if_condition.empty()) {
+    os << "  " << call.str() << ";\n";
+  } else {
+    // if(false): plain sequential execution on the encountering thread.
+    os << "  if (" << d.if_condition << ") { " << call.str() << "; } else { "
+       << region << "(); }\n";
+  }
+
+  if (d.is_device()) {
+    if (d.mode == Async::kDefault || d.mode == Async::kAwait) {
+      for (const auto& v : d.map_from) {
+        os << "  ::evmp::device_transfer_from(" << quoted(target)
+           << ", sizeof(" << v << "));\n";
+      }
+    } else if (!d.map_from.empty()) {
+      os << "  /* evmpcc: map(from:) ignored for " << to_string(d.mode)
+         << " device target (no completion point) */\n";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+ForHeader parse_for_header(const std::string& header, int line) {
+  const auto parts = split_top_level(header, ';');
+  if (parts.size() != 3) {
+    throw TranslateError(line, "for loop header must be 'init; cond; incr'");
+  }
+  ForHeader h;
+
+  // --- init: TYPE VAR = EXPR ---------------------------------------------
+  const std::string init = trim_copy(parts[0]);
+  std::size_t eq = std::string::npos;
+  int depth = 0;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    const char c = init[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (depth == 0 && c == '=' &&
+        (i == 0 || (init[i - 1] != '=' && init[i - 1] != '<' &&
+                    init[i - 1] != '>' && init[i - 1] != '!')) &&
+        (i + 1 >= init.size() || init[i + 1] != '=')) {
+      eq = i;
+      break;
+    }
+  }
+  if (eq == std::string::npos) {
+    throw TranslateError(line, "for init must be 'TYPE VAR = expression'");
+  }
+  const std::string lhs = trim_copy(init.substr(0, eq));
+  h.init = trim_copy(init.substr(eq + 1));
+  // VAR = trailing identifier of the lhs; TYPE = what precedes it.
+  std::size_t var_begin = lhs.size();
+  while (var_begin > 0 &&
+         (std::isalnum(static_cast<unsigned char>(lhs[var_begin - 1])) != 0 ||
+          lhs[var_begin - 1] == '_')) {
+    --var_begin;
+  }
+  h.var = lhs.substr(var_begin);
+  h.type = trim_copy(lhs.substr(0, var_begin));
+  if (h.var.empty() || h.type.empty() ||
+      std::isdigit(static_cast<unsigned char>(h.var[0])) != 0) {
+    throw TranslateError(line, "for init must declare the loop variable");
+  }
+
+  // --- cond: VAR < EXPR or VAR <= EXPR -------------------------------------
+  const std::string cond = trim_copy(parts[1]);
+  if (cond.rfind(h.var, 0) != 0) {
+    throw TranslateError(line, "for condition must test the loop variable");
+  }
+  std::string rest = trim_copy(cond.substr(h.var.size()));
+  bool inclusive = false;
+  if (rest.rfind("<=", 0) == 0) {
+    inclusive = true;
+    rest = trim_copy(rest.substr(2));
+  } else if (!rest.empty() && rest[0] == '<' &&
+             (rest.size() < 2 || rest[1] != '<')) {
+    rest = trim_copy(rest.substr(1));
+  } else {
+    throw TranslateError(line, "for condition must be '" + h.var +
+                                   " < bound' or '" + h.var + " <= bound'");
+  }
+  if (rest.empty()) {
+    throw TranslateError(line, "for condition has no bound expression");
+  }
+  h.bound = inclusive ? "(" + rest + ") + 1" : rest;
+
+  // --- incr: unit step only -------------------------------------------------
+  const std::string incr = strip_whitespace(parts[2]);
+  const bool unit_step = incr == "++" + h.var || incr == h.var + "++" ||
+                         incr == h.var + "+=1" ||
+                         incr == h.var + "=" + h.var + "+1";
+  if (!unit_step) {
+    throw TranslateError(
+        line, "parallel for supports unit-stride loops only (got '" +
+                  trim_copy(parts[2]) + "')");
+  }
+  return h;
+}
+
+namespace {
+
+std::string schedule_expr(const Directive& d) {
+  if (d.schedule_kind == "dynamic") return "::evmp::fj::Schedule::kDynamic";
+  if (d.schedule_kind == "guided") return "::evmp::fj::Schedule::kGuided";
+  return "::evmp::fj::Schedule::kStatic";
+}
+
+std::string chunk_expr(const Directive& d) {
+  if (d.schedule_chunk.empty()) return "0";
+  return "static_cast<long>(" + d.schedule_chunk + ")";
+}
+
+std::string decayed(const std::string& var) {
+  return "std::decay_t<decltype(" + var + ")>";
+}
+
+/// firstprivate snapshots taken before the region + per-thread shadow
+/// declarations inserted at the top of the region body.
+struct DataEnv {
+  std::string before;   // outer snapshot declarations
+  std::string shadows;  // per-thread shadow declarations
+};
+
+DataEnv data_environment(const Directive& d, const std::string& suffix) {
+  DataEnv env;
+  for (const auto& v : d.firstprivate) {
+    const std::string snap = "__evmp_fp_" + v + "_" + suffix;
+    env.before += "  auto " + snap + " = " + v + ";\n";
+    env.shadows += "    " + decayed(snap) + " " + v + " = " + snap + ";\n";
+  }
+  for (const auto& v : d.privates) {
+    env.shadows += "    " + decayed(v) + " " + v + "{};\n";
+  }
+  return env;
+}
+
+std::string identity_expr(const std::string& op, const std::string& var) {
+  const std::string t = decayed(var);
+  if (op == "*") return "::evmp::fj::detail::ident_mul<" + t + ">()";
+  if (op == "min") return "::evmp::fj::detail::ident_min<" + t + ">()";
+  if (op == "max") return "::evmp::fj::detail::ident_max<" + t + ">()";
+  if (op == "&") return "::evmp::fj::detail::ident_band<" + t + ">()";
+  if (op == "&&") return "::evmp::fj::detail::ident_land<" + t + ">()";
+  // +, -, |, ^, ||
+  return "::evmp::fj::detail::ident_plus<" + t + ">()";
+}
+
+std::string combine_stmt(const std::string& op, const std::string& var,
+                         const std::string& partial) {
+  if (op == "min") {
+    return var + " = (" + partial + " < " + var + ") ? " + partial + " : " +
+           var + ";";
+  }
+  if (op == "max") {
+    return var + " = (" + var + " < " + partial + ") ? " + partial + " : " +
+           var + ";";
+  }
+  if (op == "-") return var + " = " + var + " + " + partial + ";";  // OpenMP
+  return var + " = " + var + " " + op + " " + partial + ";";
+}
+
+std::string wrap_body(const std::string& body, bool braced) {
+  return braced ? "{" + body + "}" : "{ " + body + " }";
+}
+
+}  // namespace
+
+std::string generate_parallel(const Directive& d, const std::string& body,
+                              bool braced, int region_id) {
+  const std::string id = std::to_string(region_id);
+  const DataEnv env = data_environment(d, id);
+  std::ostringstream os;
+  os << "{ /* evmpcc line " << d.line << ": parallel */\n";
+  // private/firstprivate are implemented by shadowing — silence -Wshadow
+  // for the generated region only.
+  os << "#pragma GCC diagnostic push\n"
+     << "#pragma GCC diagnostic ignored \"-Wshadow\"\n";
+  os << env.before;
+  os << "  auto __evmp_region_" << id << " = [&](int, int) {\n"
+     << env.shadows << "    " << wrap_body(body, braced) << "\n  };\n";
+  std::string invoke;
+  if (!d.num_threads.empty()) {
+    invoke = "{ ::evmp::fj::Team __evmp_team_" + id + "(static_cast<int>(" +
+             d.num_threads + ")); __evmp_team_" + id +
+             ".parallel(__evmp_region_" + id + "); }";
+  } else {
+    invoke = "::evmp::fj::default_parallel(__evmp_region_" + id + ");";
+  }
+  if (d.if_condition.empty()) {
+    os << "  " << invoke << "\n";
+  } else {
+    os << "  if (" << d.if_condition << ") { " << invoke
+       << " } else { __evmp_region_" << id << "(0, 1); }\n";
+  }
+  os << "#pragma GCC diagnostic pop\n";
+  os << "}";
+  return os.str();
+}
+
+std::string generate_parallel_for(const Directive& d, const ForHeader& h,
+                                  const std::string& body, bool braced,
+                                  int region_id) {
+  const std::string id = std::to_string(region_id);
+  const DataEnv env = data_environment(d, id);
+  const std::string lo = "__evmp_lo_" + id;
+  const std::string hi = "__evmp_hi_" + id;
+  std::ostringstream os;
+  os << "{ /* evmpcc line " << d.line << ": parallel for */\n";
+  // Reduction/firstprivate shadowing is the translation technique —
+  // silence -Wshadow for the generated region only.
+  os << "#pragma GCC diagnostic push\n"
+     << "#pragma GCC diagnostic ignored \"-Wshadow\"\n";
+  os << "  const long " << lo << " = static_cast<long>(" << h.init << ");\n";
+  os << "  const long " << hi << " = static_cast<long>(" << h.bound << ");\n";
+  os << env.before;
+
+  // Per-iteration body: restores the loop variable's declared type.
+  const std::string iter_body = "    " + h.type + " " + h.var +
+                                " = static_cast<" + h.type +
+                                ">(__evmp_i_" + id + ");\n" + env.shadows +
+                                "    " + wrap_body(body, braced) + "\n";
+
+  if (d.reductions.empty()) {
+    os << "  auto __evmp_loop_" << id << " = [&](long __evmp_i_" << id
+       << ") {\n" << iter_body << "  };\n";
+    std::string invoke;
+    if (!d.num_threads.empty()) {
+      invoke = "{ ::evmp::fj::Team __evmp_team_" + id +
+               "(static_cast<int>(" + d.num_threads +
+               ")); ::evmp::fj::parallel_for(__evmp_team_" + id + ", " + lo +
+               ", " + hi + ", __evmp_loop_" + id + ", " + schedule_expr(d) +
+               ", " + chunk_expr(d) + "); }";
+    } else {
+      invoke = "::evmp::fj::default_parallel_for(" + lo + ", " + hi +
+               ", __evmp_loop_" + id + ", " + schedule_expr(d) + ", " +
+               chunk_expr(d) + ");";
+    }
+    if (d.if_condition.empty()) {
+      os << "  " << invoke << "\n";
+    } else {
+      os << "  if (" << d.if_condition << ") { " << invoke
+         << " } else { for (long __evmp_i_" << id << " = " << lo
+         << "; __evmp_i_" << id << " < " << hi << "; ++__evmp_i_" << id
+         << ") __evmp_loop_" << id << "(__evmp_i_" << id << "); }\n";
+    }
+    os << "#pragma GCC diagnostic pop\n";
+    os << "}";
+    return os.str();
+  }
+
+  // Reductions: per-thread padded partials, combined after the join.
+  const std::string team_size =
+      d.num_threads.empty()
+          ? "::evmp::fj::default_team().num_threads()"
+          : "static_cast<int>(" + d.num_threads + ")";
+  for (const auto& r : d.reductions) {
+    const std::string part = "__evmp_red_" + r.var + "_" + id;
+    os << "  std::vector<::evmp::fj::detail::Padded<" << decayed(r.var)
+       << ">> " << part << "(static_cast<std::size_t>(" << team_size
+       << "), ::evmp::fj::detail::Padded<" << decayed(r.var) << ">{"
+       << identity_expr(r.op, r.var) << "});\n";
+  }
+  os << "  auto __evmp_ranges_" << id << " = [&](int __evmp_tid_" << id
+     << ", long __evmp_rlo_" << id << ", long __evmp_rhi_" << id << ") {\n";
+  for (const auto& r : d.reductions) {
+    // Shadow each reduction variable with this thread's partial slot.
+    os << "    auto& " << r.var << " = __evmp_red_" << r.var << "_" << id
+       << "[static_cast<std::size_t>(__evmp_tid_" << id << ")].value;\n";
+  }
+  os << "    for (long __evmp_i_" << id << " = __evmp_rlo_" << id
+     << "; __evmp_i_" << id << " < __evmp_rhi_" << id << "; ++__evmp_i_"
+     << id << ") {\n"
+     << iter_body << "    }\n  };\n";
+  std::string invoke;
+  if (!d.num_threads.empty()) {
+    invoke = "{ ::evmp::fj::Team __evmp_team_" + id + "(static_cast<int>(" +
+             d.num_threads + ")); ::evmp::fj::parallel_ranges(__evmp_team_" +
+             id + ", " + lo + ", " + hi + ", __evmp_ranges_" + id + ", " +
+             schedule_expr(d) + ", " + chunk_expr(d) + "); }";
+  } else {
+    invoke = "::evmp::fj::default_parallel_ranges(" + lo + ", " + hi +
+             ", __evmp_ranges_" + id + ", " + schedule_expr(d) + ", " +
+             chunk_expr(d) + ");";
+  }
+  if (d.if_condition.empty()) {
+    os << "  " << invoke << "\n";
+  } else {
+    os << "  if (" << d.if_condition << ") { " << invoke
+       << " } else { __evmp_ranges_" << id << "(0, " << lo << ", " << hi
+       << "); }\n";
+  }
+  for (const auto& r : d.reductions) {
+    const std::string part = "__evmp_red_" + r.var + "_" + id;
+    os << "  for (const auto& __evmp_p_" << id << " : " << part << ") { "
+       << combine_stmt(r.op, r.var, "__evmp_p_" + id + ".value") << " }\n";
+  }
+  os << "#pragma GCC diagnostic pop\n";
+  os << "}";
+  return os.str();
+}
+
+TranslateResult translate_source(std::string_view source,
+                                 const TranslateOptions& options) {
+  Rewriter rw{options};
+  TranslateResult result;
+  result.output = rw.transform(source);
+  result.directives_rewritten = rw.rewritten;
+  if (result.directives_rewritten > 0 && options.add_include) {
+    result.output =
+        "#include \"core/evmp.hpp\"  // added by evmpcc\n" + result.output;
+  }
+  return result;
+}
+
+}  // namespace evmp::compiler

@@ -1,0 +1,88 @@
+#pragma once
+// The evmpcc source-to-source translator: the C++ analogue of the Pyjama
+// compiler (paper §IV.A). It rewrites every `//#omp` / `#pragma omp`
+// extended-target directive into a TargetRegion lambda plus an EventMP
+// runtime invocation, preserving all remaining source text byte-for-byte.
+//
+// Example (the paper's §IV.A listing):
+//
+//   //#omp target virtual(worker) await
+//   {
+//     compute_half1();                        // S1
+//     //#omp target virtual(edt) nowait
+//     { label.set_text("half done"); }        // S2
+//     compute_half2();                        // S3
+//   }
+//
+// becomes
+//
+//   { auto __evmp_region_0 = [&]() {
+//       compute_half1();
+//       { auto __evmp_region_1 = [&]() { label.set_text("half done"); };
+//         ::evmp::rt().invoke_target_block("edt",
+//             std::move(__evmp_region_1), ::evmp::Async::kNowait); }
+//       compute_half2();
+//     };
+//     ::evmp::rt().invoke_target_block("worker",
+//         std::move(__evmp_region_0), ::evmp::Async::kAwait); }
+
+#include <string>
+#include <string_view>
+
+#include "compilerlib/directive.hpp"
+
+namespace evmp::compiler {
+
+/// Translation knobs.
+struct TranslateOptions {
+  /// Prepend `#include "core/evmp.hpp"` when any directive was rewritten.
+  bool add_include = true;
+  /// Expression evaluating to the Runtime& the generated code talks to.
+  std::string runtime_expr = "::evmp::rt()";
+};
+
+/// Translation outcome.
+struct TranslateResult {
+  std::string output;
+  int directives_rewritten = 0;
+};
+
+/// Translate a whole source buffer. Throws TranslateError on malformed
+/// directives or blocks.
+TranslateResult translate_source(std::string_view source,
+                                 const TranslateOptions& options = {});
+
+/// Generate the replacement code for one directive whose (already
+/// recursively translated) block body is `body`. `braced` tells whether the
+/// original block was a compound statement. Exposed for unit testing.
+std::string generate_invocation(const Directive& directive,
+                                const std::string& body, bool braced,
+                                int region_id,
+                                const TranslateOptions& options);
+
+/// The canonical-form for-loop header a `parallel for` directive accepts:
+///   for (TYPE VAR = INIT; VAR < BOUND; ++VAR)   (also <=, VAR++, VAR += 1)
+struct ForHeader {
+  std::string type;   ///< loop variable type, e.g. "int", "std::size_t"
+  std::string var;    ///< loop variable name
+  std::string init;   ///< initial-value expression
+  std::string bound;  ///< exclusive upper bound (…+1 already applied for <=)
+};
+
+/// Parse a canonical for-header text (the "init; cond; incr" between the
+/// parentheses). Throws TranslateError on non-canonical loops.
+ForHeader parse_for_header(const std::string& header, int line);
+
+/// Generate the fork-join invocation for `#pragma omp parallel` (body
+/// already translated). Exposed for unit testing.
+std::string generate_parallel(const Directive& directive,
+                              const std::string& body, bool braced,
+                              int region_id);
+
+/// Generate the fork-join worksharing loop for `#pragma omp parallel for`.
+std::string generate_parallel_for(const Directive& directive,
+                                  const ForHeader& header,
+                                  const std::string& body, bool braced,
+                                  int region_id);
+
+}  // namespace evmp::compiler

@@ -1,0 +1,28 @@
+#pragma once
+// The scheduling-property-clause of the extended target directive
+// (paper Figure 5 / Table I).
+
+#include <string_view>
+
+namespace evmp {
+
+/// Asynchronous execution mode of a target block.
+enum class Async {
+  kDefault,  ///< encountering thread waits until the block finishes
+  kNowait,   ///< fire-and-forget; no completion notification
+  kNameAs,   ///< fire, tag with a name; join later via wait(name-tag)
+  kAwait,    ///< continue *after* the block, pumping other events meanwhile
+};
+
+/// Clause spelling for diagnostics ("", "nowait", "name_as", "await").
+constexpr std::string_view to_string(Async mode) noexcept {
+  switch (mode) {
+    case Async::kDefault: return "default";
+    case Async::kNowait: return "nowait";
+    case Async::kNameAs: return "name_as";
+    case Async::kAwait: return "await";
+  }
+  return "?";
+}
+
+}  // namespace evmp

@@ -1,0 +1,66 @@
+#pragma once
+// Directive-style macros: the closest C++ spelling of the paper's
+// annotation syntax for code that wants the block to *look* like a pragma:
+//
+//   EVMP_TARGET_AWAIT("worker") {
+//     compute_half1();
+//     EVMP_TARGET_NOWAIT("edt") { label.set_text("half done"); };
+//     compute_half2();
+//   };                                    // <- note the semicolon
+//
+// Each macro captures the following compound statement as a [&] lambda
+// (default(shared) data context) and submits it via the global runtime.
+
+#include "core/target.hpp"
+
+namespace evmp::detail {
+
+/// Helper binding a (runtime, name, mode, tag) tuple to the block produced
+/// by the macro's trailing lambda via operator%.
+class DirectiveInvoker {
+ public:
+  DirectiveInvoker(Runtime& rt, std::string tname, Async mode,
+                   std::string tag = {})
+      : rt_(rt), tname_(std::move(tname)), mode_(mode), tag_(std::move(tag)) {}
+
+  template <class F>
+  exec::TaskHandle operator%(F&& block) const {
+    return rt_.invoke_target_block(tname_, exec::Task(std::forward<F>(block)),
+                                   mode_, tag_);
+  }
+
+ private:
+  Runtime& rt_;
+  std::string tname_;
+  Async mode_;
+  std::string tag_;
+};
+
+}  // namespace evmp::detail
+
+/// #pragma omp target virtual(name)            — default (wait) scheduling
+#define EVMP_TARGET(name)                                                \
+  ::evmp::detail::DirectiveInvoker(::evmp::rt(), (name),                 \
+                                   ::evmp::Async::kDefault) %            \
+      [&]()
+
+/// #pragma omp target virtual(name) nowait
+#define EVMP_TARGET_NOWAIT(name)                                         \
+  ::evmp::detail::DirectiveInvoker(::evmp::rt(), (name),                 \
+                                   ::evmp::Async::kNowait) %             \
+      [&]()
+
+/// #pragma omp target virtual(name) name_as(tag)
+#define EVMP_TARGET_NAME_AS(name, tag)                                   \
+  ::evmp::detail::DirectiveInvoker(::evmp::rt(), (name),                 \
+                                   ::evmp::Async::kNameAs, (tag)) %      \
+      [&]()
+
+/// #pragma omp target virtual(name) await
+#define EVMP_TARGET_AWAIT(name)                                          \
+  ::evmp::detail::DirectiveInvoker(::evmp::rt(), (name),                 \
+                                   ::evmp::Async::kAwait) %              \
+      [&]()
+
+/// The standalone wait(tag) clause.
+#define EVMP_WAIT(tag) ::evmp::rt().wait_tag((tag))

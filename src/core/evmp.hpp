@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header: everything an application needs to use EventMP.
+
+#include "core/async_mode.hpp"     // IWYU pragma: export
+#include "core/directive.hpp"      // IWYU pragma: export
+#include "core/runtime.hpp"        // IWYU pragma: export
+#include "core/tag_group.hpp"      // IWYU pragma: export
+#include "core/target.hpp"         // IWYU pragma: export
+#include "event/event_loop.hpp"    // IWYU pragma: export
+#include "event/gui.hpp"           // IWYU pragma: export
+#include "forkjoin/default_team.hpp"  // IWYU pragma: export
+#include "forkjoin/parallel_for.hpp"  // IWYU pragma: export
+#include "forkjoin/team.hpp"       // IWYU pragma: export

@@ -1,0 +1,243 @@
+#include "core/runtime.hpp"
+
+#include <chrono>
+
+#include "core/target.hpp"
+
+namespace evmp {
+
+Runtime::Runtime() = default;
+
+Runtime::~Runtime() { clear(); }
+
+void Runtime::register_edt(std::string tname, event::EventLoop& loop) {
+  std::scoped_lock lk(mu_);
+  targets_[std::move(tname)] = TargetEntry{&loop, nullptr};
+}
+
+exec::ThreadPoolExecutor& Runtime::create_worker(std::string tname, int m) {
+  auto pool = std::make_shared<exec::ThreadPoolExecutor>(
+      tname, static_cast<std::size_t>(m < 1 ? 1 : m));
+  exec::ThreadPoolExecutor& ref = *pool;
+  std::scoped_lock lk(mu_);
+  targets_[std::move(tname)] = TargetEntry{pool.get(), pool};
+  return ref;
+}
+
+exec::WorkStealingExecutor& Runtime::create_stealing_worker(std::string tname,
+                                                            int m) {
+  auto pool = std::make_shared<exec::WorkStealingExecutor>(
+      tname, static_cast<std::size_t>(m < 1 ? 1 : m));
+  exec::WorkStealingExecutor& ref = *pool;
+  std::scoped_lock lk(mu_);
+  targets_[std::move(tname)] = TargetEntry{pool.get(), pool};
+  return ref;
+}
+
+exec::SimulatedDeviceExecutor& Runtime::register_device(
+    int id, exec::SimulatedDeviceExecutor::Config cfg) {
+  const std::string tname = "device:" + std::to_string(id);
+  auto dev = std::make_shared<exec::SimulatedDeviceExecutor>(tname, id, cfg);
+  exec::SimulatedDeviceExecutor& ref = *dev;
+  std::scoped_lock lk(mu_);
+  targets_[tname] = TargetEntry{dev.get(), dev};
+  return ref;
+}
+
+void Runtime::register_executor(std::string tname, exec::Executor& executor) {
+  std::scoped_lock lk(mu_);
+  targets_[std::move(tname)] = TargetEntry{&executor, nullptr};
+}
+
+void Runtime::unregister(std::string_view tname) {
+  std::shared_ptr<exec::Executor> owned;
+  {
+    std::scoped_lock lk(mu_);
+    auto it = targets_.find(tname);
+    if (it == targets_.end()) return;
+    owned = std::move(it->second.owned);  // destroy outside the lock
+    targets_.erase(it);
+  }
+}
+
+void Runtime::clear() {
+  std::map<std::string, TargetEntry, std::less<>> drained;
+  {
+    std::scoped_lock lk(mu_);
+    drained.swap(targets_);
+  }
+  // Owned executors shut down here, outside the registry lock, so their
+  // draining tasks may still resolve other targets.
+  drained.clear();
+}
+
+exec::Executor& Runtime::resolve(std::string_view tname) const {
+  std::scoped_lock lk(mu_);
+  auto it = targets_.find(tname);
+  if (it == targets_.end()) throw TargetNotFound(tname);
+  return *it->second.executor;
+}
+
+bool Runtime::has_target(std::string_view tname) const {
+  std::scoped_lock lk(mu_);
+  return targets_.find(tname) != targets_.end();
+}
+
+void Runtime::set_default_target(std::string tname) {
+  std::scoped_lock lk(mu_);
+  default_target_ = std::move(tname);
+}
+
+std::string Runtime::default_target() const {
+  std::scoped_lock lk(mu_);
+  return default_target_;
+}
+
+exec::TaskHandle Runtime::invoke_target_block(std::string_view tname,
+                                              exec::Task block, Async mode,
+                                              std::string_view tag) {
+  // Directives disabled: the "unsupported compiler" semantics — the block
+  // is plain sequential code on the encountering thread.
+  if (!enabled()) {
+    block();
+    return {};
+  }
+
+  exec::Executor& executor = resolve(tname);
+
+  // Algorithm 1, line 6: T ∈ E → execute synchronously by T. The directive
+  // is "simply ignored" (thread-context awareness).
+  if (executor.owns_current_thread()) {
+    {
+      std::scoped_lock lk(stats_mu_);
+      ++stats_.inline_fast_path;
+    }
+    block();
+    return {};
+  }
+
+  // Line 8: post B to E asynchronously, with completion tracking.
+  auto state = std::make_shared<exec::CompletionState>();
+  TagGroup* group = nullptr;
+  if (mode == Async::kNameAs) {
+    group = &tags_.group(tag);
+    group->enter();
+  }
+  const bool report_unhandled = (mode == Async::kNowait);
+  const std::string executor_name(executor.name());
+  executor.post([state, group, report_unhandled, executor_name,
+                 fn = std::move(block)]() mutable {
+    try {
+      fn();
+      state->set_done();
+      if (group != nullptr) group->leave(nullptr);
+    } catch (...) {
+      auto ep = std::current_exception();
+      state->set_exception(ep);
+      if (group != nullptr) group->leave(ep);
+      // A nowait block has no join point; surface the failure via the hook
+      // instead of dropping it.
+      if (report_unhandled) {
+        exec::unhandled_exception_hook()(executor_name, ep);
+      }
+    }
+  });
+  {
+    std::scoped_lock lk(stats_mu_);
+    ++stats_.posted;
+  }
+
+  switch (mode) {
+    case Async::kNowait:
+    case Async::kNameAs:
+      // Lines 10-11: continue with the statements after the block.
+      return exec::TaskHandle(state);
+    case Async::kAwait:
+      // Lines 13-16: logical barrier.
+      await_completion(state);
+      return exec::TaskHandle(state);
+    case Async::kDefault:
+      // Line 17: plain wait (standard `target` behaviour).
+      {
+        std::scoped_lock lk(stats_mu_);
+        ++stats_.default_waits;
+      }
+      exec::TaskHandle(state).wait();
+      return exec::TaskHandle(state);
+  }
+  return exec::TaskHandle(state);  // unreachable
+}
+
+void Runtime::await_completion(
+    const std::shared_ptr<exec::CompletionState>& state) {
+  {
+    std::scoped_lock lk(stats_mu_);
+    ++stats_.awaits;
+  }
+  exec::Executor* self = exec::Executor::current();
+  std::uint64_t pumped = 0;
+  while (!state->done()) {
+    // "while B is not finished do T.processAnotherEventHandler()":
+    // a member thread drains its own executor's queue (the EDT dispatches
+    // other events; a pool thread runs other tasks).
+    if (self != nullptr && self->try_run_one()) {
+      ++pumped;
+      continue;
+    }
+    // Foreign thread, or nothing pending right now: block briefly instead
+    // of busy-spinning, then re-check both conditions.
+    state->wait_for(std::chrono::microseconds{200});
+  }
+  if (pumped != 0) {
+    std::scoped_lock lk(stats_mu_);
+    stats_.await_pumped += pumped;
+  }
+  state->rethrow_if_error();
+}
+
+void Runtime::await_handle(const exec::TaskHandle& handle) {
+  if (!handle.valid()) return;
+  await_completion(handle.state());
+}
+
+void Runtime::wait_tag(std::string_view tag) {
+  exec::Executor* self = exec::Executor::current();
+  tags_.group(tag).wait(
+      self != nullptr ? std::function<bool()>([self] { return self->try_run_one(); })
+                      : std::function<bool()>{});
+}
+
+TargetRef Runtime::target(std::string tname) {
+  return TargetRef(*this, std::move(tname));
+}
+
+RuntimeStats Runtime::stats() const {
+  std::scoped_lock lk(stats_mu_);
+  return stats_;
+}
+
+void Runtime::reset_stats() {
+  std::scoped_lock lk(stats_mu_);
+  stats_ = RuntimeStats{};
+}
+
+Runtime& rt() {
+  static Runtime instance;
+  return instance;
+}
+
+void device_transfer_to(std::string_view tname, std::uint64_t bytes) {
+  if (auto* dev = dynamic_cast<exec::SimulatedDeviceExecutor*>(
+          &rt().resolve(tname))) {
+    dev->transfer_to_device(bytes);
+  }
+}
+
+void device_transfer_from(std::string_view tname, std::uint64_t bytes) {
+  if (auto* dev = dynamic_cast<exec::SimulatedDeviceExecutor*>(
+          &rt().resolve(tname))) {
+    dev->transfer_from_device(bytes);
+  }
+}
+
+}  // namespace evmp

@@ -1,0 +1,188 @@
+#pragma once
+// The EventMP runtime: virtual-target registry + Algorithm 1.
+//
+// This is the C++ analogue of PjRuntime in the paper. A *virtual target* is
+// a named software-level executor sharing the host's memory (paper §III-A);
+// the runtime dispatches target blocks to it according to the
+// scheduling-property-clause (Table I) using Algorithm 1:
+//
+//   1. if the encountering thread already belongs to the target executor,
+//      run the block synchronously (thread-context awareness);
+//   2. otherwise post it asynchronously;
+//   3. nowait / name_as: return immediately;
+//   4. await: "logical barrier" — while the block is unfinished, the
+//      encountering thread processes other queued handlers of its own
+//      executor (nested event dispatch on the EDT, task stealing on pools);
+//   5. default: block until finished.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/async_mode.hpp"
+#include "core/tag_group.hpp"
+#include "event/event_loop.hpp"
+#include "executor/completion.hpp"
+#include "executor/executor.hpp"
+#include "executor/simulated_device.hpp"
+#include "executor/thread_pool_executor.hpp"
+#include "executor/work_stealing_executor.hpp"
+
+namespace evmp {
+
+class TargetRef;  // fluent API, target.hpp
+
+/// Error for directives naming an unregistered virtual target.
+class TargetNotFound : public std::runtime_error {
+ public:
+  explicit TargetNotFound(std::string_view target_name)
+      : std::runtime_error("virtual target not registered: " +
+                           std::string(target_name)) {}
+};
+
+/// Per-mode invocation counters (ablation + test observability).
+struct RuntimeStats {
+  std::uint64_t inline_fast_path = 0;  ///< membership hit, ran synchronously
+  std::uint64_t posted = 0;            ///< blocks posted to an executor
+  std::uint64_t awaits = 0;
+  std::uint64_t await_pumped = 0;      ///< handlers pumped inside awaits
+  std::uint64_t default_waits = 0;
+};
+
+/// The EventMP runtime. Instantiable (tests create private runtimes); most
+/// code uses the process-wide instance via evmp::rt().
+class Runtime {
+ public:
+  Runtime();
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- Table II: virtual target registration ---------------------------
+  /// Register an existing event loop as an EDT-type virtual target named
+  /// `tname`. The loop must outlive its registration. Mirrors
+  /// virtual_target_register_edt(tname) — in the paper the *calling* thread
+  /// becomes the target; here the loop object carries that thread.
+  void register_edt(std::string tname, event::EventLoop& loop);
+
+  /// Create a worker-type virtual target: a thread pool with at most `m`
+  /// threads, named `tname`. Mirrors virtual_target_create_worker(tname, m).
+  /// Returns the backing executor (owned by the runtime).
+  exec::ThreadPoolExecutor& create_worker(std::string tname, int m);
+
+  /// Create a worker-type virtual target backed by the work-stealing pool
+  /// instead of the central queue (scalability extension; see
+  /// bench_ablation_pool). Semantically interchangeable with
+  /// create_worker.
+  exec::WorkStealingExecutor& create_stealing_worker(std::string tname,
+                                                     int m);
+
+  /// Create a simulated accelerator reachable as device(`id`). Fallback
+  /// for the original `target device(n)` form on GPU-less hosts.
+  exec::SimulatedDeviceExecutor& register_device(
+      int id, exec::SimulatedDeviceExecutor::Config cfg = {});
+
+  /// Register an arbitrary executor under a name (advanced/testing).
+  /// Non-owning: the executor must outlive the registration.
+  void register_executor(std::string tname, exec::Executor& executor);
+
+  /// Remove a target by name (no-op if absent). Worker targets owned by the
+  /// runtime are shut down and destroyed.
+  void unregister(std::string_view tname);
+
+  /// Unregister everything (shuts down owned workers).
+  void clear();
+
+  /// Look up a target's executor; throws TargetNotFound.
+  exec::Executor& resolve(std::string_view tname) const;
+
+  [[nodiscard]] bool has_target(std::string_view tname) const;
+
+  // --- ICVs --------------------------------------------------------------
+  /// default-target-var: target used by a directive with no
+  /// target-property-clause (analogue of OpenMP's default-device-var).
+  void set_default_target(std::string tname);
+  [[nodiscard]] std::string default_target() const;
+
+  /// Master switch: when disabled, every directive runs its block inline on
+  /// the encountering thread — the "unsupported compiler ignores the
+  /// directives" sequential semantics the model guarantees.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // --- Algorithm 1 --------------------------------------------------------
+  /// Dispatch a target block to the named virtual target under `mode`.
+  /// `tag` is required for Async::kNameAs and ignored otherwise. Returns a
+  /// handle to the submission (empty if the block ran inline).
+  exec::TaskHandle invoke_target_block(std::string_view tname,
+                                       exec::Task block,
+                                       Async mode = Async::kDefault,
+                                       std::string_view tag = {});
+
+  /// Shorthand for a directive with no target-property-clause: dispatch to
+  /// the default target.
+  exec::TaskHandle invoke_default(exec::Task block, Async mode = Async::kDefault,
+                                  std::string_view tag = {}) {
+    return invoke_target_block(default_target(), std::move(block), mode, tag);
+  }
+
+  /// Generic await: apply the logical barrier to any completion handle —
+  /// the calling thread processes other queued handlers of its own
+  /// executor until `handle` is done, then rethrows the handle's
+  /// exception if any. This is the integration point for asynchronous
+  /// operations that occupy no thread while pending (e.g. the async-I/O
+  /// extension the paper lists as future work).
+  void await_handle(const exec::TaskHandle& handle);
+
+  /// The wait(name-tag) clause: suspend until all name_as blocks tagged
+  /// `tag` have finished. Member threads of an executor help by processing
+  /// queued work while waiting. Rethrows the first exception of the group.
+  void wait_tag(std::string_view tag);
+
+  /// Fluent directive entry point: rt.target("worker").await([&]{...});
+  TargetRef target(std::string tname);
+
+  [[nodiscard]] RuntimeStats stats() const;
+  void reset_stats();
+
+ private:
+  /// The `await` logical barrier (Algorithm 1 lines 13-16).
+  void await_completion(const std::shared_ptr<exec::CompletionState>& state);
+
+  struct TargetEntry {
+    exec::Executor* executor = nullptr;        // non-owning view
+    std::shared_ptr<exec::Executor> owned;     // set when runtime owns it
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TargetEntry, std::less<>> targets_;
+  std::string default_target_ = "worker";
+  std::atomic<bool> enabled_{true};
+
+  TagRegistry tags_;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+};
+
+/// Process-wide runtime instance (lazily constructed, never destroyed before
+/// static teardown of its clients).
+Runtime& rt();
+
+/// map(to:)/map(from:) support for device targets: model a host<->device
+/// transfer of `bytes` on the named target of the global runtime. No-op when
+/// the target is not a SimulatedDeviceExecutor (virtual targets share the
+/// host memory, so their map clauses need no copies). Used by evmpcc output.
+void device_transfer_to(std::string_view tname, std::uint64_t bytes);
+void device_transfer_from(std::string_view tname, std::uint64_t bytes);
+
+}  // namespace evmp

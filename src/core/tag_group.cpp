@@ -1,0 +1,63 @@
+#include "core/tag_group.hpp"
+
+#include <chrono>
+
+namespace evmp {
+
+void TagGroup::enter() {
+  std::scoped_lock lk(mu_);
+  ++count_;
+}
+
+void TagGroup::leave(std::exception_ptr error) {
+  // Notify under the lock: a waiter may resume and tear the runtime down
+  // as soon as the count is observably zero.
+  std::scoped_lock lk(mu_);
+  if (error && !first_error_) first_error_ = std::move(error);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void TagGroup::wait(const std::function<bool()>& try_help) {
+  std::unique_lock lk(mu_);
+  while (count_ > 0) {
+    if (try_help) {
+      lk.unlock();
+      const bool helped = try_help();
+      lk.lock();
+      if (helped) continue;
+      // Nothing to steal right now: block briefly, then re-check both the
+      // count and the helper (new work may appear in either place).
+      cv_.wait_for(lk, std::chrono::microseconds{200},
+                   [&] { return count_ == 0; });
+    } else {
+      cv_.wait(lk, [&] { return count_ == 0; });
+    }
+  }
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int TagGroup::in_flight() const {
+  std::scoped_lock lk(mu_);
+  return count_;
+}
+
+TagGroup& TagRegistry::group(std::string_view tag) {
+  std::scoped_lock lk(mu_);
+  auto it = groups_.find(tag);
+  if (it == groups_.end()) {
+    it = groups_.emplace(std::string(tag), std::make_unique<TagGroup>()).first;
+  }
+  return *it->second;
+}
+
+std::size_t TagRegistry::size() const {
+  std::scoped_lock lk(mu_);
+  return groups_.size();
+}
+
+}  // namespace evmp

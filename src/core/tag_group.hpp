@@ -1,0 +1,60 @@
+#pragma once
+// Named task groups backing the name_as(name-tag) / wait(name-tag) clauses.
+//
+// Paper §III-C: "different target blocks are allowed to share the same
+// name-tag, such that when a wait clause is applied with that name-tag, the
+// encountering thread suspends until all the name-tag asynchronous target
+// block instances finish."
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace evmp {
+
+/// Tracks the in-flight count of one name-tag.
+class TagGroup {
+ public:
+  /// Register one more in-flight block under this tag.
+  void enter();
+
+  /// Mark one block finished; `error` is the block's exception (nullptr on
+  /// success). The first error is kept and rethrown by the next wait().
+  void leave(std::exception_ptr error);
+
+  /// Block until the in-flight count reaches zero. While waiting,
+  /// `try_help()` is polled (if provided) so member threads can process
+  /// other queued work instead of idling; it returns true when it made
+  /// progress. Rethrows (and clears) the first stored error.
+  void wait(const std::function<bool()>& try_help);
+
+  [[nodiscard]] int in_flight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Name-tag → TagGroup map; groups are created on first use and live for
+/// the registry's lifetime (a tag is a program-wide name, like the paper's).
+class TagRegistry {
+ public:
+  /// Get or create the group for `tag`.
+  TagGroup& group(std::string_view tag);
+
+  /// Number of distinct tags seen.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TagGroup>, std::less<>> groups_;
+};
+
+}  // namespace evmp

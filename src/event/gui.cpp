@@ -1,0 +1,114 @@
+#include "event/gui.hpp"
+
+namespace evmp::event {
+
+std::uint64_t Image::checksum() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(width));
+  mix(static_cast<std::uint64_t>(height));
+  for (std::uint32_t p : pixels) mix(p);
+  return h;
+}
+
+Widget::Widget(Gui& gui, std::string id) : gui_(gui), id_(std::move(id)) {}
+
+void Widget::confine(const char* operation) const {
+  if (!gui_.edt().is_dispatch_thread()) {
+    gui_.report_violation(id_, operation);
+  }
+}
+
+void Label::set_text(std::string text) {
+  confine("Label::set_text");
+  text_ = std::move(text);
+  updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Label::text() const {
+  confine("Label::text");
+  return text_;
+}
+
+void ProgressBar::set_value(int percent) {
+  confine("ProgressBar::set_value");
+  value_ = percent;
+  updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int ProgressBar::value() const {
+  confine("ProgressBar::value");
+  return value_;
+}
+
+void ImageView::display(const Image& img) {
+  confine("ImageView::display");
+  checksum_ = img.checksum();
+  shown_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t ImageView::displayed_checksum() const {
+  confine("ImageView::displayed_checksum");
+  return checksum_;
+}
+
+void Button::on_click(exec::UniqueFunction<void()> handler) {
+  confine("Button::on_click");
+  handler_ = std::make_shared<exec::UniqueFunction<void()>>(std::move(handler));
+}
+
+void Button::click() {
+  clicks_.fetch_add(1, std::memory_order_relaxed);
+  // Snapshot the handler so a concurrent on_click cannot race the dispatch.
+  auto handler = handler_;
+  if (!handler) return;
+  gui_.edt().post([handler] {
+    if (*handler) (*handler)();
+  });
+}
+
+Gui::Gui(EventLoop& edt, ConfinementPolicy policy)
+    : edt_(edt), policy_(policy) {}
+
+Label& Gui::add_label(std::string id) {
+  auto w = std::make_unique<Label>(*this, std::move(id));
+  Label& ref = *w;
+  widgets_.push_back(std::move(w));
+  return ref;
+}
+
+ProgressBar& Gui::add_progress_bar(std::string id) {
+  auto w = std::make_unique<ProgressBar>(*this, std::move(id));
+  ProgressBar& ref = *w;
+  widgets_.push_back(std::move(w));
+  return ref;
+}
+
+ImageView& Gui::add_image_view(std::string id) {
+  auto w = std::make_unique<ImageView>(*this, std::move(id));
+  ImageView& ref = *w;
+  widgets_.push_back(std::move(w));
+  return ref;
+}
+
+Button& Gui::add_button(std::string id) {
+  auto w = std::make_unique<Button>(*this, std::move(id));
+  Button& ref = *w;
+  widgets_.push_back(std::move(w));
+  return ref;
+}
+
+void Gui::report_violation(const std::string& widget_id,
+                           const char* operation) {
+  violations_.fetch_add(1, std::memory_order_relaxed);
+  if (policy_ == ConfinementPolicy::kThrow) {
+    throw ThreadConfinementError(std::string(operation) + " on widget '" +
+                                 widget_id +
+                                 "' called off the event-dispatch thread");
+  }
+}
+
+}  // namespace evmp::event

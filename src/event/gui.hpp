@@ -1,0 +1,168 @@
+#pragma once
+// Simulated GUI toolkit.
+//
+// Reproduces the structural property of Swing the paper leans on (§II.A):
+// "GUI components are not thread-safe and access is strictly confined to the
+// EDT". Every widget mutation checks the calling thread; violations are
+// counted and can be configured to throw. Benchmarks assert zero violations,
+// which is how we verify that every approach routes GUI updates correctly.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "event/event_loop.hpp"
+#include "executor/unique_function.hpp"
+
+namespace evmp::event {
+
+/// Thrown on off-EDT widget access when the policy is kThrow.
+class ThreadConfinementError : public std::logic_error {
+ public:
+  explicit ThreadConfinementError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// What to do when a widget is touched off the EDT.
+enum class ConfinementPolicy {
+  kCount,  ///< record the violation, continue (benchmark mode)
+  kThrow,  ///< throw ThreadConfinementError (test mode)
+};
+
+/// A trivially small raster image; what ImageView "renders".
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint32_t> pixels;
+
+  /// FNV-1a over the pixel data; used to validate pipelines end-to-end.
+  [[nodiscard]] std::uint64_t checksum() const noexcept;
+};
+
+class Gui;
+
+/// Base class: ties a widget to its Gui and enforces confinement.
+class Widget {
+ public:
+  Widget(Gui& gui, std::string id);
+  virtual ~Widget() = default;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+ protected:
+  /// Verify the calling thread may touch this widget; applies the policy.
+  void confine(const char* operation) const;
+  Gui& gui_;
+
+ private:
+  std::string id_;
+};
+
+/// A text label (Panel.showMsg / Label.setText in the paper's examples).
+class Label final : public Widget {
+ public:
+  using Widget::Widget;
+
+  void set_text(std::string text);
+  [[nodiscard]] std::string text() const;
+  /// Number of set_text calls (EDT-confined writes observed).
+  [[nodiscard]] std::uint64_t updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string text_;
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+/// Progress indicator for interim updates (paper Figure 2's S2).
+class ProgressBar final : public Widget {
+ public:
+  using Widget::Widget;
+
+  void set_value(int percent);
+  [[nodiscard]] int value() const;
+  [[nodiscard]] std::uint64_t updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int value_ = 0;
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+/// Displays an image (Panel.displayImg in paper Figure 6).
+class ImageView final : public Widget {
+ public:
+  using Widget::Widget;
+
+  void display(const Image& img);
+  /// Checksum of the most recently displayed image (0 when none).
+  [[nodiscard]] std::uint64_t displayed_checksum() const;
+  [[nodiscard]] std::uint64_t images_shown() const noexcept {
+    return shown_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t checksum_ = 0;
+  std::atomic<std::uint64_t> shown_{0};
+};
+
+/// A clickable button whose handler runs on the EDT, like Swing's.
+class Button final : public Widget {
+ public:
+  using Widget::Widget;
+
+  /// Register the click callback (replaces any previous one). EDT-confined
+  /// like any widget mutation.
+  void on_click(exec::UniqueFunction<void()> handler);
+
+  /// Fire a click: enqueues the handler on the EDT. Unlike widget mutation,
+  /// clicks may be generated from any thread (they model the windowing
+  /// system's input source).
+  void click();
+
+  [[nodiscard]] std::uint64_t clicks() const noexcept {
+    return clicks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<exec::UniqueFunction<void()>> handler_;
+  std::atomic<std::uint64_t> clicks_{0};
+};
+
+/// The application window: owns widgets and the confinement accounting.
+class Gui {
+ public:
+  explicit Gui(EventLoop& edt, ConfinementPolicy policy = ConfinementPolicy::kThrow);
+
+  Label& add_label(std::string id);
+  ProgressBar& add_progress_bar(std::string id);
+  ImageView& add_image_view(std::string id);
+  Button& add_button(std::string id);
+
+  [[nodiscard]] EventLoop& edt() noexcept { return edt_; }
+  [[nodiscard]] const EventLoop& edt() const noexcept { return edt_; }
+  [[nodiscard]] ConfinementPolicy policy() const noexcept { return policy_; }
+
+  /// Off-EDT accesses observed so far (should stay 0 in a correct program).
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by widgets on a confinement breach; applies the policy.
+  void report_violation(const std::string& widget_id, const char* operation);
+
+ private:
+  EventLoop& edt_;
+  ConfinementPolicy policy_;
+  std::atomic<std::uint64_t> violations_{0};
+  std::vector<std::unique_ptr<Widget>> widgets_;
+};
+
+}  // namespace evmp::event

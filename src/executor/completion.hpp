@@ -1,0 +1,127 @@
+#pragma once
+// Completion tracking for asynchronously submitted blocks.
+//
+// A CompletionState is the rendezvous between a submitted target block and
+// any thread that later joins it (the paper's `default` wait, `await`
+// logical barrier, and `wait(name-tag)` all observe one of these).
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace evmp::exec {
+
+/// Shared state describing one in-flight asynchronous block.
+class CompletionState {
+ public:
+  /// Mark successful completion and wake all waiters.
+  void set_done() {
+    {
+      std::scoped_lock lk(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Mark failed completion; the exception is rethrown at join points.
+  void set_exception(std::exception_ptr ep) {
+    {
+      std::scoped_lock lk(mu_);
+      error_ = std::move(ep);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool done() const {
+    std::scoped_lock lk(mu_);
+    return done_;
+  }
+
+  [[nodiscard]] bool failed() const {
+    std::scoped_lock lk(mu_);
+    return done_ && error_ != nullptr;
+  }
+
+  /// Block until completion; rethrows a stored exception. Every joining
+  /// thread observes the same exception (OpenMP has a single join point,
+  /// but name_as tags may legally be waited on more than once).
+  void wait() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+    rethrow_locked(lk);
+  }
+
+  /// Block up to `timeout`; true when complete (rethrows stored exception).
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return done_; })) return false;
+    rethrow_locked(lk);
+    return true;
+  }
+
+  /// Rethrow the stored exception, if any (call only after done()).
+  void rethrow_if_error() {
+    std::unique_lock lk(mu_);
+    rethrow_locked(lk);
+  }
+
+ private:
+  void rethrow_locked(std::unique_lock<std::mutex>& lk) {
+    if (error_) {
+      const std::exception_ptr ep = error_;
+      lk.unlock();  // never throw while holding the lock
+      std::rethrow_exception(ep);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+/// Lightweight handle to a CompletionState; copyable, shareable.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  explicit TaskHandle(std::shared_ptr<CompletionState> state)
+      : state_(std::move(state)) {}
+
+  /// True if this handle refers to an actual asynchronous submission.
+  /// (Inline-executed blocks return an empty handle: they are already done.)
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once the block has finished (empty handles count as finished).
+  [[nodiscard]] bool done() const { return !state_ || state_->done(); }
+
+  /// True if the block completed by throwing.
+  [[nodiscard]] bool failed() const { return state_ && state_->failed(); }
+
+  /// Block until the task completes; rethrows the block's exception.
+  void wait() const {
+    if (state_) state_->wait();
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return !state_ || state_->wait_for(timeout);
+  }
+
+  /// Rethrow the block's exception if it failed (call after done()).
+  void rethrow_if_error() const {
+    if (state_) state_->rethrow_if_error();
+  }
+
+  [[nodiscard]] const std::shared_ptr<CompletionState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<CompletionState> state_;
+};
+
+}  // namespace evmp::exec

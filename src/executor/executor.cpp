@@ -1,0 +1,61 @@
+#include "executor/executor.hpp"
+
+#include <exception>
+
+#include "common/logging.hpp"
+#include "common/tracing.hpp"
+
+namespace evmp::exec {
+
+namespace {
+
+thread_local Executor* t_current_executor = nullptr;
+
+void default_unhandled(std::string_view executor_name, std::exception_ptr ep) {
+  try {
+    if (ep) std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    EVMP_LOG_ERROR << "unhandled exception in fire-and-forget task on '"
+                   << executor_name << "': " << e.what();
+  } catch (...) {
+    EVMP_LOG_ERROR << "unhandled non-std exception in fire-and-forget task on '"
+                   << executor_name << "'";
+  }
+}
+
+std::atomic<UnhandledExceptionHook> g_hook{&default_unhandled};
+
+}  // namespace
+
+void set_unhandled_exception_hook(UnhandledExceptionHook hook) noexcept {
+  g_hook.store(hook ? hook : &default_unhandled, std::memory_order_relaxed);
+}
+
+UnhandledExceptionHook unhandled_exception_hook() noexcept {
+  return g_hook.load(std::memory_order_relaxed);
+}
+
+Executor* Executor::current() noexcept { return t_current_executor; }
+
+void Executor::run_task(Task& task) noexcept {
+  const bool tracing = common::Tracer::instance().enabled();
+  const common::TimePoint start = tracing ? common::now() : common::TimePoint{};
+  try {
+    task();
+  } catch (...) {
+    unhandled_exception_hook()(name_, std::current_exception());
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (tracing) {
+    common::Tracer::instance().record(name_, "executor", start, common::now());
+  }
+}
+
+Executor::ThreadBinding::ThreadBinding(Executor* e) noexcept
+    : previous_(t_current_executor) {
+  t_current_executor = e;
+}
+
+Executor::ThreadBinding::~ThreadBinding() { t_current_executor = previous_; }
+
+}  // namespace evmp::exec

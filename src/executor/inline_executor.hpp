@@ -1,0 +1,28 @@
+#pragma once
+// Executor that runs every task synchronously on the posting thread.
+// Used when directives are disabled (sequential-equivalence mode) and as a
+// degenerate target in tests.
+
+#include "executor/executor.hpp"
+
+namespace evmp::exec {
+
+/// Synchronous pass-through executor.
+///
+/// owns_current_thread() is always true: with directives "ignored", every
+/// thread is trivially a member, so Algorithm 1 takes the inline fast-path.
+class InlineExecutor final : public Executor {
+ public:
+  explicit InlineExecutor(std::string name = "inline")
+      : Executor(std::move(name)) {}
+
+  void post(Task task) override { run_task(task); }
+  [[nodiscard]] bool owns_current_thread() const noexcept override {
+    return true;
+  }
+  bool try_run_one() override { return false; }
+  [[nodiscard]] std::size_t concurrency() const noexcept override { return 0; }
+  [[nodiscard]] std::size_t pending() const override { return 0; }
+};
+
+}  // namespace evmp::exec

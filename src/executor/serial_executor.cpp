@@ -1,0 +1,44 @@
+#include "executor/serial_executor.hpp"
+
+#include "common/logging.hpp"
+
+namespace evmp::exec {
+
+SerialExecutor::SerialExecutor(std::string executor_name)
+    : Executor(std::move(executor_name)),
+      thread_([this] { thread_main(); }) {}
+
+SerialExecutor::~SerialExecutor() { shutdown(); }
+
+void SerialExecutor::post(Task task) {
+  if (!queue_.push(std::move(task))) {
+    EVMP_LOG_WARN << "task posted to shut-down serial executor '" << name()
+                  << "' was dropped";
+  }
+}
+
+bool SerialExecutor::try_run_one() {
+  auto task = queue_.try_pop();
+  if (!task) return false;
+  execute(*task);
+  return true;
+}
+
+std::size_t SerialExecutor::pending() const { return queue_.size(); }
+
+void SerialExecutor::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SerialExecutor::execute(Task& task) { run_task(task); }
+
+void SerialExecutor::thread_main() {
+  ThreadBinding bind(this);
+  while (auto task = queue_.pop()) {
+    execute(*task);
+  }
+}
+
+}  // namespace evmp::exec

@@ -1,0 +1,40 @@
+#pragma once
+// Single-threaded executor with a dedicated owned thread. Tasks execute in
+// FIFO order with no concurrency — the execution model of a worker virtual
+// target of scale 1, and the base of the simulated accelerator device.
+
+#include <thread>
+
+#include "common/queue.hpp"
+#include "executor/executor.hpp"
+
+namespace evmp::exec {
+
+/// One dedicated thread draining a FIFO queue.
+class SerialExecutor : public Executor {
+ public:
+  explicit SerialExecutor(std::string name);
+  ~SerialExecutor() override;
+
+  void post(Task task) override;
+  bool try_run_one() override;
+  [[nodiscard]] std::size_t concurrency() const noexcept override { return 1; }
+  [[nodiscard]] std::size_t pending() const override;
+
+  /// Stop accepting tasks, drain, and join. Idempotent.
+  void shutdown();
+
+ protected:
+  /// Hook for subclasses (e.g. the simulated device) to wrap task
+  /// execution with extra behaviour. Default: run_task(task).
+  virtual void execute(Task& task);
+
+ private:
+  void thread_main();
+
+  common::MpmcQueue<Task> queue_;
+  std::atomic<bool> shut_down_{false};
+  std::jthread thread_;  // declared last: starts after queue_ is ready
+};
+
+}  // namespace evmp::exec

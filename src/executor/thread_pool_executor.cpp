@@ -1,0 +1,53 @@
+#include "executor/thread_pool_executor.hpp"
+
+#include "common/logging.hpp"
+
+namespace evmp::exec {
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::string pool_name,
+                                       std::size_t num_threads)
+    : Executor(std::move(pool_name)) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() { shutdown(); }
+
+void ThreadPoolExecutor::post(Task task) {
+  if (!queue_.push(std::move(task))) {
+    EVMP_LOG_WARN << "task posted to shut-down pool '" << name()
+                  << "' was dropped";
+  }
+}
+
+bool ThreadPoolExecutor::try_run_one() {
+  auto task = queue_.try_pop();
+  if (!task) return false;
+  run_task(*task);
+  return true;
+}
+
+std::size_t ThreadPoolExecutor::concurrency() const noexcept {
+  return threads_.size();
+}
+
+std::size_t ThreadPoolExecutor::pending() const { return queue_.size(); }
+
+void ThreadPoolExecutor::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.close();
+  threads_.clear();  // jthread joins on destruction
+}
+
+void ThreadPoolExecutor::worker_main() {
+  ThreadBinding bind(this);
+  while (auto task = queue_.pop()) {
+    run_task(*task);
+  }
+  // pop() returned nullopt: queue closed and fully drained.
+}
+
+}  // namespace evmp::exec

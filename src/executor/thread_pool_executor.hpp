@@ -1,0 +1,41 @@
+#pragma once
+// Fixed-size worker thread pool — the backing of a `virtual(worker)` target
+// created via virtual_target_create_worker(name, m) (paper Table II).
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "executor/executor.hpp"
+
+namespace evmp::exec {
+
+/// A named pool of `m` worker threads sharing one FIFO task queue.
+///
+/// Threads are started in the constructor and joined in the destructor
+/// (or an explicit shutdown()); tasks still queued at shutdown are drained
+/// before the threads exit, so no accepted work is silently dropped.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  ThreadPoolExecutor(std::string name, std::size_t num_threads);
+  ~ThreadPoolExecutor() override;
+
+  void post(Task task) override;
+  bool try_run_one() override;
+  [[nodiscard]] std::size_t concurrency() const noexcept override;
+  [[nodiscard]] std::size_t pending() const override;
+
+  /// Stop accepting tasks, drain the queue, and join all workers.
+  /// Idempotent; called automatically by the destructor.
+  void shutdown();
+
+ private:
+  void worker_main();
+
+  common::MpmcQueue<Task> queue_;
+  std::vector<std::jthread> threads_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace evmp::exec

@@ -1,0 +1,56 @@
+#pragma once
+// Move-only type-erased callable. Tasks frequently capture move-only state
+// (completion handles, promises), which std::function cannot hold.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace evmp::exec {
+
+template <class Signature>
+class UniqueFunction;
+
+/// Move-only replacement for std::function<R(Args...)>.
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <class F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace evmp::exec

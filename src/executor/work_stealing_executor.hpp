@@ -1,0 +1,72 @@
+#pragma once
+// Work-stealing thread pool: an alternative backing for worker virtual
+// targets. The paper's central-queue executor (our ThreadPoolExecutor)
+// serialises all submissions through one lock; under fine-grained target
+// blocks — especially blocks that spawn further blocks — per-worker deques
+// with stealing scale better. bench_ablation_pool quantifies the gap.
+//
+// Design: each worker owns a deque (own work is taken LIFO for locality;
+// thieves take FIFO from the other end). Foreign submissions distribute
+// round-robin. Idle workers sleep on a shared condition variable and
+// re-scan every deque on wakeup, so no task can be stranded.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "executor/executor.hpp"
+
+namespace evmp::exec {
+
+/// Fixed-size pool with per-worker deques and work stealing.
+class WorkStealingExecutor final : public Executor {
+ public:
+  WorkStealingExecutor(std::string name, std::size_t num_threads);
+  ~WorkStealingExecutor() override;
+
+  void post(Task task) override;
+  bool try_run_one() override;
+  [[nodiscard]] std::size_t concurrency() const noexcept override;
+  [[nodiscard]] std::size_t pending() const override;
+
+  /// Stop accepting tasks, drain all deques, and join. Idempotent.
+  void shutdown();
+
+  /// Tasks executed from the owning worker's deque (LIFO pops).
+  [[nodiscard]] std::uint64_t local_pops() const noexcept {
+    return local_pops_.load(std::memory_order_relaxed);
+  }
+  /// Tasks stolen from another worker's deque.
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  /// Take a task: own deque first (LIFO), then steal (FIFO) starting from
+  /// a rotating victim. `self` < 0 means a foreign caller (steal only).
+  bool take_task(int self, Task& out);
+  void worker_main(int index);
+  [[nodiscard]] int current_worker_index() const noexcept;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> next_victim_{0};
+  std::atomic<std::uint64_t> local_pops_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::vector<std::jthread> threads_;  // last: start after queues exist
+};
+
+}  // namespace evmp::exec

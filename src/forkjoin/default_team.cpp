@@ -1,0 +1,31 @@
+#include "forkjoin/default_team.hpp"
+
+#include <thread>
+
+#include "common/env.hpp"
+
+namespace evmp::fj {
+
+namespace {
+
+int default_thread_count() {
+  if (auto v = common::env_long("EVMP_NUM_THREADS"); v && *v > 0) {
+    return static_cast<int>(*v);
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
+}  // namespace
+
+Team& default_team() {
+  static Team team(default_thread_count());
+  return team;
+}
+
+std::mutex& default_team_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace evmp::fj

@@ -1,0 +1,137 @@
+#include "forkjoin/team.hpp"
+
+#include <atomic>
+
+namespace evmp::fj {
+
+namespace {
+std::atomic<std::uint64_t> g_helpers_created{0};
+
+// Innermost-region context of the current thread (omp_get_thread_num /
+// omp_get_num_threads). Saved/restored around run_member so nested teams
+// report their own region.
+thread_local int t_thread_num = 0;
+thread_local int t_num_threads = 1;
+thread_local bool t_in_parallel = false;
+}  // namespace
+
+std::uint64_t total_helper_threads_created() noexcept {
+  return g_helpers_created.load(std::memory_order_relaxed);
+}
+
+int thread_num() noexcept { return t_thread_num; }
+int num_threads() noexcept { return t_num_threads; }
+bool in_parallel() noexcept { return t_in_parallel; }
+
+Team::Team(int num_threads) : n_(num_threads < 1 ? 1 : num_threads) {
+  helpers_.reserve(static_cast<std::size_t>(n_ - 1));
+  for (int tid = 1; tid < n_; ++tid) {
+    helpers_.emplace_back([this, tid] { helper_main(tid); });
+  }
+  g_helpers_created.fetch_add(static_cast<std::uint64_t>(n_ - 1),
+                              std::memory_order_relaxed);
+}
+
+Team::~Team() {
+  {
+    std::scoped_lock lk(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  helpers_.clear();  // jthread joins
+}
+
+void Team::run_member(int tid, const std::function<void(int, int)>& fn) {
+  const int prev_tid = t_thread_num;
+  const int prev_n = t_num_threads;
+  const bool prev_in = t_in_parallel;
+  t_thread_num = tid;
+  t_num_threads = n_;
+  t_in_parallel = true;
+  try {
+    fn(tid, n_);
+  } catch (...) {
+    std::scoped_lock lk(err_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  t_thread_num = prev_tid;
+  t_num_threads = prev_n;
+  t_in_parallel = prev_in;
+}
+
+void Team::parallel(const std::function<void(int, int)>& fn) {
+  if (n_ == 1) {
+    // Degenerate team: run on the encountering thread, but keep the
+    // exception contract identical to the multi-threaded path.
+    {
+      std::scoped_lock lk(mu_);
+      ++generation_;
+    }
+    run_member(0, fn);
+  } else {
+    {
+      std::scoped_lock lk(mu_);
+      task_ = &fn;
+      helpers_done_ = 0;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    run_member(0, fn);  // master participates (fork-join)
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return helpers_done_ == n_ - 1; });
+    task_ = nullptr;
+  }
+  std::exception_ptr err;
+  {
+    std::scoped_lock lk(err_mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void Team::helper_main(int tid) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int, int)>* fn = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = task_;
+    }
+    if (fn != nullptr) run_member(tid, *fn);
+    {
+      // Notify under the lock: the master may return from parallel() and
+      // destroy the Team the instant helpers_done_ reaches its target.
+      std::scoped_lock lk(mu_);
+      ++helpers_done_;
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void Team::barrier() {
+  std::unique_lock lk(bar_mu_);
+  const std::uint64_t gen = bar_generation_;
+  if (++bar_arrived_ == n_) {
+    bar_arrived_ = 0;
+    ++bar_generation_;
+    bar_cv_.notify_all();
+  } else {
+    bar_cv_.wait(lk, [&] { return bar_generation_ != gen; });
+  }
+}
+
+void Team::critical(const std::function<void()>& fn) {
+  std::scoped_lock lk(crit_mu_);
+  fn();
+}
+
+std::uint64_t Team::regions() const {
+  std::scoped_lock lk(mu_);
+  return generation_;
+}
+
+}  // namespace evmp::fj

@@ -1,0 +1,94 @@
+#pragma once
+// Fork-join thread team: the traditional OpenMP execution model the paper's
+// event-driven extension coexists with.
+//
+// Semantics mirror `#pragma omp parallel`: the encountering thread becomes
+// the master (thread id 0) and *participates* in the region, and the region
+// has an implicit join — the encountering thread cannot proceed until every
+// member finished. That inherent "join" is exactly what the paper identifies
+// as incompatible with event dispatching (the EDT is trapped in the region),
+// which the benchmarks reproduce via the "synchronous parallel" approach.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evmp::fj {
+
+/// Process-wide count of fork-join helper threads ever created. The paper's
+/// Figure 9 attributes the throughput level-off of per-event parallelisation
+/// to "the total number of threads in the system soar[ing] to a high value";
+/// this counter makes that observable in the reproduction.
+std::uint64_t total_helper_threads_created() noexcept;
+
+/// omp_get_thread_num(): the calling thread's id within the innermost
+/// active fork-join region, or 0 outside any region.
+int thread_num() noexcept;
+
+/// omp_get_num_threads(): the innermost active region's team size, or 1
+/// outside any region.
+int num_threads() noexcept;
+
+/// omp_in_parallel(): true while inside a fork-join region.
+bool in_parallel() noexcept;
+
+/// A reusable fork-join team of `num_threads` members (1 master = the
+/// thread calling parallel(), plus num_threads-1 pool helpers).
+class Team {
+ public:
+  /// Creates the helper threads immediately. num_threads >= 1.
+  explicit Team(int num_threads);
+  ~Team();
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Run `fn(thread_id, team_size)` on every member; the caller runs as
+  /// thread 0 and blocks until all members return (fork-join). If any member
+  /// throws, the first exception is rethrown here after the join.
+  /// Not reentrant: a region body must not call parallel() on the same team.
+  void parallel(const std::function<void(int, int)>& fn);
+
+  /// In-region barrier: every team member must call it the same number of
+  /// times (like `#pragma omp barrier`). Only valid inside parallel().
+  void barrier();
+
+  /// In-region mutual exclusion (like `#pragma omp critical`).
+  void critical(const std::function<void()>& fn);
+
+  [[nodiscard]] int num_threads() const noexcept { return n_; }
+
+  /// Fork-join regions executed so far.
+  [[nodiscard]] std::uint64_t regions() const;
+
+ private:
+  void helper_main(int tid);
+  void run_member(int tid, const std::function<void(int, int)>& fn);
+
+  const int n_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int, int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int helpers_done_ = 0;
+  bool stopping_ = false;
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_arrived_ = 0;
+  std::uint64_t bar_generation_ = 0;
+
+  std::mutex crit_mu_;
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+
+  std::vector<std::jthread> helpers_;  // last member: starts after state init
+};
+
+}  // namespace evmp::fj

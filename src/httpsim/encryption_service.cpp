@@ -1,0 +1,42 @@
+#include "httpsim/encryption_service.hpp"
+
+#include "forkjoin/team.hpp"
+#include "kernels/crypt.hpp"
+
+namespace evmp::http {
+
+EncryptionService::EncryptionService(Config cfg)
+    : cfg_(cfg),
+      pool_(std::make_shared<kernels::KernelPool>(
+          [bytes = cfg.payload_bytes, model = cfg.work_model,
+           per_unit = cfg.per_unit] {
+            auto k = std::make_unique<kernels::CryptKernel>(bytes);
+            k->set_work_model(model, per_unit);
+            k->prepare();
+            return std::unique_ptr<kernels::Kernel>(std::move(k));
+          })) {}
+
+Response EncryptionService::serve(const Request& request) {
+  auto kernel = pool_->acquire();
+  std::uint64_t checksum = 0;
+  if (cfg_.parallel_width > 1) {
+    // //#omp parallel inside the handler: a fresh team per request,
+    // exactly the per-event parallelisation of Figure 9's "+parallel".
+    fj::Team team(cfg_.parallel_width);
+    checksum = kernel->run_parallel(team);
+  } else {
+    checksum = kernel->run_sequential();
+  }
+  // Fold a few payload bytes in so the response depends on the input.
+  for (std::size_t i = 0; i < request.payload.size(); i += 4096) {
+    checksum = checksum * 1099511628211ull + request.payload[i];
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return Response{request.id, checksum, true};
+}
+
+RequestHandler EncryptionService::handler() {
+  return [this](const Request& request) { return serve(request); };
+}
+
+}  // namespace evmp::http

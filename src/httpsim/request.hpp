@@ -1,0 +1,41 @@
+#pragma once
+// Request/response model for the simulated HTTP encryption service (§V.B).
+//
+// Substitution note (DESIGN.md §2): the paper's testbed is a real Jetty
+// HTTP server on a 16-core Xeon. The transport here is in-process — a
+// connector receives Request objects and invokes a completion callback with
+// the Response — because the experiment's variable is the *threading
+// structure* behind the connector, not TCP. Payloads are still real bytes
+// and the handler really encrypts them.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace evmp::http {
+
+/// An inbound request carrying the data to encrypt.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t user = 0;
+  std::vector<std::uint8_t> payload;
+  common::TimePoint arrived{};
+};
+
+/// The service's reply.
+struct Response {
+  std::uint64_t id = 0;
+  std::uint64_t checksum = 0;      ///< checksum of the encrypted payload
+  bool ok = false;
+};
+
+/// Application logic: consume a request, produce a response. May run on any
+/// connector-managed thread; implementations must be callable concurrently.
+using RequestHandler = std::function<Response(const Request&)>;
+
+/// Completion callback invoked exactly once per submitted request.
+using ResponseCallback = std::function<void(const Response&)>;
+
+}  // namespace evmp::http

@@ -1,0 +1,42 @@
+#include "kernels/kernel_pool.hpp"
+
+namespace evmp::kernels {
+
+KernelPool::KernelPool(std::function<std::unique_ptr<Kernel>()> factory)
+    : factory_(std::move(factory)) {}
+
+KernelPool::KernelPool(std::string kernel_name, SizeClass size,
+                       WorkModel model, common::Nanos per_unit)
+    : factory_([name = std::move(kernel_name), size, model, per_unit] {
+        auto k = make_kernel(name, size);
+        k->set_work_model(model, per_unit);
+        k->prepare();
+        return k;
+      }) {}
+
+std::shared_ptr<Kernel> KernelPool::acquire() {
+  std::unique_ptr<Kernel> instance;
+  {
+    std::scoped_lock lk(state_->mu);
+    if (!state_->free.empty()) {
+      instance = std::move(state_->free.back());
+      state_->free.pop_back();
+    } else {
+      ++state_->created;
+    }
+  }
+  if (!instance) instance = factory_();
+  // The deleter co-owns the state, so returning a kernel is safe even if
+  // the KernelPool object is already gone.
+  return {instance.release(), [state = state_](Kernel* k) {
+            std::scoped_lock lk(state->mu);
+            state->free.emplace_back(k);
+          }};
+}
+
+std::size_t KernelPool::created() const {
+  std::scoped_lock lk(state_->mu);
+  return state_->created;
+}
+
+}  // namespace evmp::kernels

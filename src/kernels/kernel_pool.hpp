@@ -1,0 +1,58 @@
+#pragma once
+// A pool of prepared kernel instances.
+//
+// Kernel objects hold working buffers, so two in-flight event handlers must
+// not run the same instance concurrently. Harnesses lease an instance per
+// request and return it on completion; the pool grows on demand (preparing
+// a kernel is much more expensive than leasing one).
+//
+// Lifetime: a lease may legally outlive the KernelPool object — e.g. a
+// completion callback holding the last reference can run on a detached
+// worker after the benchmark round tore the pool down. The free list is
+// therefore shared state co-owned by every outstanding lease; returning a
+// kernel to a pool that no longer exists simply parks it on the shared
+// list, which is freed when the last lease drops.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// Thread-safe lease pool of identically configured kernels.
+class KernelPool {
+ public:
+  /// Factory form: `factory()` returns a *prepared* kernel.
+  explicit KernelPool(std::function<std::unique_ptr<Kernel>()> factory);
+
+  /// Convenience: pool of `make_kernel(kernel_name, size)` instances under
+  /// the given work model.
+  KernelPool(std::string kernel_name, SizeClass size,
+             WorkModel model = WorkModel::kReal,
+             common::Nanos per_unit = common::Nanos{0});
+
+  /// A leased kernel; dropping the shared_ptr releases it back here.
+  /// Leases remain valid even past the pool's destruction (see above).
+  std::shared_ptr<Kernel> acquire();
+
+  /// Instances ever created (growth = peak concurrency reached).
+  [[nodiscard]] std::size_t created() const;
+
+ private:
+  /// Free list + counters; co-owned by the pool and all live leases.
+  struct State {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Kernel>> free;
+    std::size_t created = 0;
+  };
+
+  std::function<std::unique_ptr<Kernel>()> factory_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+}  // namespace evmp::kernels

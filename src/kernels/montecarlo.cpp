@@ -1,0 +1,66 @@
+#include "kernels/montecarlo.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace evmp::kernels {
+
+namespace {
+
+long paths_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return 64;
+    case SizeClass::kSmall: return 1024;
+    case SizeClass::kMedium: return 8192;
+  }
+  return 1024;
+}
+
+}  // namespace
+
+MonteCarloKernel::MonteCarloKernel(SizeClass size)
+    : MonteCarloKernel(paths_for(size), Params{}) {}
+
+MonteCarloKernel::MonteCarloKernel(long paths, Params params)
+    : paths_(paths < 1 ? 1 : paths), params_(params) {}
+
+void MonteCarloKernel::prepare() {
+  final_prices_.assign(static_cast<std::size_t>(paths_), 0.0);
+}
+
+std::uint64_t MonteCarloKernel::compute_range(long lo, long hi) {
+  const double dt = 1.0 / static_cast<double>(params_.steps);
+  const double sigma_sqrt_dt = params_.volatility * std::sqrt(dt);
+  const double drift_term =
+      (params_.drift - 0.5 * params_.volatility * params_.volatility) * dt;
+  for (long i = lo; i < hi; ++i) {
+    // Per-path generator: seeded by path index, independent of schedule.
+    common::Xoshiro256 rng(params_.seed + static_cast<std::uint64_t>(i));
+    double log_price = std::log(params_.initial_price);
+    for (int s = 0; s < params_.steps; ++s) {
+      log_price += drift_term + sigma_sqrt_dt * rng.next_gaussian();
+    }
+    final_prices_[static_cast<std::size_t>(i)] = std::exp(log_price);
+  }
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+double MonteCarloKernel::mean_final_price() const {
+  double sum = 0.0;
+  for (double p : final_prices_) sum += p;
+  return final_prices_.empty() ? 0.0
+                               : sum / static_cast<double>(final_prices_.size());
+}
+
+bool MonteCarloKernel::validate(std::uint64_t combined) const {
+  if (combined != static_cast<std::uint64_t>(paths_)) return false;
+  // GBM expectation after T=1 year: S0 * exp(mu). The sample mean should
+  // land within a generous band (the band is wide because tiny path counts
+  // have high variance).
+  const double expected = params_.initial_price * std::exp(params_.drift);
+  const double mean = mean_final_price();
+  return mean > 0.5 * expected && mean < 1.5 * expected;
+}
+
+}  // namespace evmp::kernels

@@ -1,0 +1,54 @@
+#pragma once
+// Java Grande "MonteCarlo": Monte Carlo simulation of stock price paths.
+//
+// The JGF original calibrates a geometric Brownian motion to a historic
+// rate file (hitData) and generates thousands of sample time series; that
+// data file is not redistributable, so the drift/volatility are fixed
+// synthetic constants here (documented in DESIGN.md) — the computational
+// shape (per-path Gaussian generation + exp updates) is identical.
+//
+// Work unit i simulates path i with its own deterministically seeded RNG,
+// so results are bit-identical regardless of schedule or thread count.
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// Geometric-Brownian-motion path simulation kernel.
+class MonteCarloKernel final : public Kernel {
+ public:
+  struct Params {
+    double initial_price = 100.0;
+    double drift = 0.05;        ///< annual mu
+    double volatility = 0.2;    ///< annual sigma
+    int steps = 250;            ///< trading days simulated per path
+    std::uint64_t seed = 0x4d6f'6e74'6543ull;
+  };
+
+  explicit MonteCarloKernel(SizeClass size);
+  MonteCarloKernel(long paths, Params params);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "montecarlo";
+  }
+  [[nodiscard]] long units() const noexcept override { return paths_; }
+  void prepare() override;
+  std::uint64_t compute_range(long lo, long hi) override;
+  [[nodiscard]] bool validate(std::uint64_t combined) const override;
+
+  /// Final price of each simulated path (after a run).
+  [[nodiscard]] const std::vector<double>& final_prices() const noexcept {
+    return final_prices_;
+  }
+  /// Mean final price across all paths (after a run).
+  [[nodiscard]] double mean_final_price() const;
+
+ private:
+  long paths_;
+  Params params_;
+  std::vector<double> final_prices_;
+};
+
+}  // namespace evmp::kernels

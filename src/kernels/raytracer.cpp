@@ -1,0 +1,176 @@
+#include "kernels/raytracer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evmp::kernels {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr int kMaxDepth = 3;
+constexpr Vec3 kAmbient{0.08, 0.08, 0.08};
+constexpr Vec3 kBackground{0.05, 0.05, 0.10};
+
+std::uint32_t pack_color(const Vec3& c) noexcept {
+  auto q = [](double v) {
+    return static_cast<std::uint32_t>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+  };
+  return (q(c.x) << 16) | (q(c.y) << 8) | q(c.z);
+}
+
+std::pair<int, int> dimensions_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {32, 32};
+    case SizeClass::kSmall: return {64, 64};
+    case SizeClass::kMedium: return {150, 150};  // JGF size A
+  }
+  return {64, 64};
+}
+
+}  // namespace
+
+double Vec3::length() const noexcept { return std::sqrt(dot(*this)); }
+
+Vec3 Vec3::normalized() const noexcept {
+  const double len = length();
+  if (len < kEps) return {0.0, 0.0, 0.0};
+  return {x / len, y / len, z / len};
+}
+
+double Sphere::intersect(const Vec3& origin, const Vec3& dir) const noexcept {
+  // Solve |origin + t*dir - center|^2 = r^2 for the nearest t > eps.
+  const Vec3 oc = origin - center;
+  const double b = oc.dot(dir);
+  const double c = oc.dot(oc) - radius * radius;
+  const double disc = b * b - c;
+  if (disc < 0.0) return -1.0;
+  const double sq = std::sqrt(disc);
+  const double t0 = -b - sq;
+  if (t0 > kEps) return t0;
+  const double t1 = -b + sq;
+  if (t1 > kEps) return t1;
+  return -1.0;
+}
+
+RayTracerKernel::RayTracerKernel(SizeClass size)
+    : RayTracerKernel(dimensions_for(size).first,
+                      dimensions_for(size).second) {}
+
+RayTracerKernel::RayTracerKernel(int width, int height)
+    : width_(width < 1 ? 1 : width), height_(height < 1 ? 1 : height) {}
+
+void RayTracerKernel::prepare() {
+  spheres_.clear();
+  // 4x4x4 lattice of small coloured spheres (the JGF scene uses 64 spheres).
+  for (int ix = 0; ix < 4; ++ix) {
+    for (int iy = 0; iy < 4; ++iy) {
+      for (int iz = 0; iz < 4; ++iz) {
+        Sphere s;
+        s.center = Vec3{ix * 1.0 - 1.5, iy * 1.0 - 1.5, iz * 1.0 - 6.0};
+        s.radius = 0.35;
+        s.color = Vec3{0.25 + 0.25 * ix, 0.25 + 0.25 * iy, 0.25 + 0.25 * iz};
+        spheres_.push_back(s);
+      }
+    }
+  }
+  // Large floor sphere.
+  Sphere floor;
+  floor.center = Vec3{0.0, -102.5, -6.0};
+  floor.radius = 100.0;
+  floor.color = Vec3{0.8, 0.8, 0.8};
+  floor.kr = 0.1;
+  spheres_.push_back(floor);
+
+  light_pos_ = Vec3{5.0, 8.0, 0.0};
+  eye_ = Vec3{0.0, 0.0, 3.0};
+  pixels_.assign(static_cast<std::size_t>(width_) *
+                     static_cast<std::size_t>(height_),
+                 0u);
+}
+
+Vec3 RayTracerKernel::trace(const Vec3& origin, const Vec3& dir,
+                            int depth) const noexcept {
+  // Nearest hit over all spheres (linear scan, as in the JGF original).
+  double best_t = -1.0;
+  const Sphere* hit = nullptr;
+  for (const Sphere& s : spheres_) {
+    const double t = s.intersect(origin, dir);
+    if (t > 0.0 && (best_t < 0.0 || t < best_t)) {
+      best_t = t;
+      hit = &s;
+    }
+  }
+  if (hit == nullptr) return kBackground;
+
+  const Vec3 point = origin + dir * best_t;
+  const Vec3 normal = (point - hit->center).normalized();
+  Vec3 color = kAmbient * hit->color;
+
+  // Shadow ray toward the point light.
+  const Vec3 to_light = (light_pos_ - point).normalized();
+  const double light_dist = (light_pos_ - point).length();
+  bool shadowed = false;
+  for (const Sphere& s : spheres_) {
+    const double t = s.intersect(point, to_light);
+    if (t > 0.0 && t < light_dist) {
+      shadowed = true;
+      break;
+    }
+  }
+  if (!shadowed) {
+    const double diffuse = normal.dot(to_light);
+    if (diffuse > 0.0) {
+      color = color + hit->color * (hit->kd * diffuse);
+      // Phong specular on the reflection of the light direction.
+      const Vec3 refl_l = to_light - normal * (2.0 * normal.dot(to_light));
+      const double spec = refl_l.dot(dir);
+      if (spec > 0.0) {
+        color = color + Vec3{1.0, 1.0, 1.0} * (hit->ks *
+                                               std::pow(spec, hit->shine));
+      }
+    }
+  }
+
+  // Specular reflection.
+  if (depth < kMaxDepth && hit->kr > 0.0) {
+    const Vec3 refl_dir =
+        (dir - normal * (2.0 * normal.dot(dir))).normalized();
+    color = color + trace(point, refl_dir, depth + 1) * hit->kr;
+  }
+  return color;
+}
+
+std::uint32_t RayTracerKernel::render_pixel(int px, int py) const noexcept {
+  // Pinhole camera looking down -z; field of view fixed by the image plane.
+  const double u =
+      (2.0 * (px + 0.5) / width_ - 1.0) * (static_cast<double>(width_) /
+                                           height_);
+  const double v = 1.0 - 2.0 * (py + 0.5) / height_;
+  const Vec3 dir = Vec3{u, v, -2.0}.normalized();
+  return pack_color(trace(eye_, dir, 0));
+}
+
+std::uint64_t RayTracerKernel::compute_range(long lo, long hi) {
+  std::uint64_t checksum = 0;
+  for (long y = lo; y < hi; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const std::uint32_t rgb = render_pixel(x, static_cast<int>(y));
+      pixels_[static_cast<std::size_t>(y) * width_ + x] = rgb;
+      checksum += rgb;
+    }
+  }
+  return checksum;
+}
+
+bool RayTracerKernel::validate(std::uint64_t combined) const {
+  // The render must have produced a non-trivial image: a non-zero checksum
+  // and more than one distinct pixel value (lighting actually varies).
+  if (combined == 0) return false;
+  const std::uint32_t first = pixels_.empty() ? 0u : pixels_.front();
+  const bool varied = std::any_of(pixels_.begin(), pixels_.end(),
+                                  [&](std::uint32_t p) { return p != first; });
+  return varied;
+}
+
+}  // namespace evmp::kernels

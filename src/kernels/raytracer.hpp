@@ -1,0 +1,91 @@
+#pragma once
+// Java Grande "RayTracer": renders a scene of spheres with Phong shading,
+// shadows and specular reflection.
+//
+// The scene mirrors the JGF one in spirit: a 4x4x4 lattice of coloured
+// spheres above a large floor sphere, one point light, recursive
+// reflections up to a fixed depth. Work unit y renders scanline y; every
+// pixel is computed independently and deterministically, so sequential and
+// parallel renders are bit-identical.
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// Minimal 3-vector for the ray tracer.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  /// Component-wise product (colour modulation).
+  constexpr Vec3 operator*(const Vec3& o) const noexcept {
+    return {x * o.x, y * o.y, z * o.z};
+  }
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double length() const noexcept;
+  [[nodiscard]] Vec3 normalized() const noexcept;
+};
+
+/// Sphere primitive with Phong material.
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  Vec3 color{1.0, 1.0, 1.0};
+  double kd = 0.8;     ///< diffuse coefficient
+  double ks = 0.3;     ///< specular coefficient
+  double shine = 15.0; ///< Phong exponent
+  double kr = 0.25;    ///< reflectance
+
+  /// Ray-sphere intersection: smallest t > eps, or a negative value.
+  [[nodiscard]] double intersect(const Vec3& origin,
+                                 const Vec3& dir) const noexcept;
+};
+
+/// Scanline-parallel Whitted-style ray tracing kernel.
+class RayTracerKernel final : public Kernel {
+ public:
+  explicit RayTracerKernel(SizeClass size);
+  RayTracerKernel(int width, int height);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "raytracer";
+  }
+  [[nodiscard]] long units() const noexcept override { return height_; }
+  void prepare() override;
+  std::uint64_t compute_range(long lo, long hi) override;
+  [[nodiscard]] bool validate(std::uint64_t combined) const override;
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  /// Packed 0x00RRGGBB framebuffer (after a run).
+  [[nodiscard]] const std::vector<std::uint32_t>& framebuffer() const noexcept {
+    return pixels_;
+  }
+
+ private:
+  [[nodiscard]] Vec3 trace(const Vec3& origin, const Vec3& dir,
+                           int depth) const noexcept;
+  [[nodiscard]] std::uint32_t render_pixel(int px, int py) const noexcept;
+
+  int width_;
+  int height_;
+  std::vector<Sphere> spheres_;
+  Vec3 light_pos_;
+  Vec3 eye_;
+  std::vector<std::uint32_t> pixels_;
+};
+
+}  // namespace evmp::kernels

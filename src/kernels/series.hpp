@@ -1,0 +1,46 @@
+#pragma once
+// Java Grande "Series": the first N Fourier coefficients of f(x) = (x+1)^x
+// on the interval [0, 2], computed by trapezoid-rule numerical integration.
+//
+// Work unit i computes the coefficient pair (a_i, b_i) — unit 0 computes
+// only a_0 — exactly the decomposition the JGF parallel version distributes
+// across threads. Every unit is pure and writes only its own array slots.
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// Fourier coefficient kernel.
+class SeriesKernel final : public Kernel {
+ public:
+  explicit SeriesKernel(SizeClass size);
+  /// Number of coefficient pairs to compute (>= 2).
+  explicit SeriesKernel(long coefficients);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "series";
+  }
+  [[nodiscard]] long units() const noexcept override { return n_; }
+  void prepare() override;
+  std::uint64_t compute_range(long lo, long hi) override;
+  [[nodiscard]] bool validate(std::uint64_t combined) const override;
+
+  /// Cosine coefficients a_i (a_[0] is the constant term a0/2 as in JGF).
+  [[nodiscard]] const std::vector<double>& a() const noexcept { return a_; }
+  /// Sine coefficients b_i (b_[0] unused, kept 0).
+  [[nodiscard]] const std::vector<double>& b() const noexcept { return b_; }
+
+  /// Trapezoid-rule integration of the JGF integrand family over [lo, hi]:
+  /// select 0: (x+1)^x; 1: (x+1)^x * cos(omega_n x); 2: (x+1)^x * sin(omega_n x).
+  static double trapezoid_integrate(double lo, double hi, int nsteps,
+                                    double omega_n, int select) noexcept;
+
+ private:
+  long n_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
+}  // namespace evmp::kernels

@@ -1,0 +1,102 @@
+#include "kernels/sor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace evmp::kernels {
+
+namespace {
+
+int grid_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return 34;      // 32 interior rows
+    case SizeClass::kSmall: return 130;
+    case SizeClass::kMedium: return 514;
+  }
+  return 130;
+}
+
+int iterations_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return 4;
+    case SizeClass::kSmall: return 10;
+    case SizeClass::kMedium: return 20;
+  }
+  return 10;
+}
+
+}  // namespace
+
+SorKernel::SorKernel(SizeClass size)
+    : SorKernel(grid_for(size), iterations_for(size)) {}
+
+SorKernel::SorKernel(int n, int iterations)
+    : n_(n < 4 ? 4 : n), iterations_(iterations < 1 ? 1 : iterations) {}
+
+void SorKernel::prepare() {
+  common::Xoshiro256 rng(0x50edull);
+  grid_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (auto& v : grid_) v = rng.next_double();
+}
+
+void SorKernel::relax_row(int row, int parity) {
+  // Update cells of one colour in an interior row: classic 5-point SOR.
+  double* g = grid_.data();
+  const int n = n_;
+  const int first = 1 + ((row + parity) & 1);
+  for (int col = first; col < n - 1; col += 2) {
+    const std::size_t idx = static_cast<std::size_t>(row) * n + col;
+    g[idx] = omega_ * 0.25 *
+                 (g[idx - n] + g[idx + n] + g[idx - 1] + g[idx + 1]) +
+             (1.0 - omega_) * g[idx];
+  }
+}
+
+std::uint64_t SorKernel::compute_range(long lo, long hi) {
+  // Unit u: phase = u / rows (a colour of one iteration), row within the
+  // phase = u % rows. Correctness requires units to be processed in
+  // nondecreasing phase order with no two phases interleaved — guaranteed
+  // by run_sequential() and by this kernel's run_parallel_range override
+  // (which never lets a range span a phase boundary concurrently).
+  const long rows = n_ - 2;
+  for (long u = lo; u < hi; ++u) {
+    const long phase = u / rows;
+    const int row = static_cast<int>(u % rows) + 1;
+    const int parity = static_cast<int>(phase & 1);  // red then black
+    relax_row(row, parity);
+  }
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::uint64_t SorKernel::run_parallel_range(fj::Team& team, long lo, long hi,
+                                            fj::Schedule sched, long chunk) {
+  // Execute phase by phase; within a phase all rows are independent
+  // (red-black ordering), so any schedule is fine.
+  const long rows = n_ - 2;
+  std::uint64_t combined = 0;
+  long pos = lo;
+  while (pos < hi) {
+    const long phase_end = std::min(hi, (pos / rows + 1) * rows);
+    combined += Kernel::run_parallel_range(team, pos, phase_end, sched, chunk);
+    pos = phase_end;
+  }
+  return combined;
+}
+
+double SorKernel::grid_sum() const {
+  double sum = 0.0;
+  for (double v : grid_) sum += v;
+  return sum;
+}
+
+bool SorKernel::validate(std::uint64_t combined) const {
+  if (combined != static_cast<std::uint64_t>(units())) return false;
+  // The relaxation must keep the grid finite and strictly change it from
+  // the uniform random start (mean stays in (0,1) for this stencil).
+  const double mean = grid_sum() / static_cast<double>(grid_.size());
+  return std::isfinite(mean) && mean > 0.0 && mean < 1.0;
+}
+
+}  // namespace evmp::kernels

@@ -1,0 +1,57 @@
+#pragma once
+// Java Grande "SOR": successive over-relaxation on an NxN grid using
+// red-black ordering, the classic JGF Section 2 kernel. Not used by the
+// paper's evaluation (which picks Crypt/RayTracer/MonteCarlo/Series), but
+// included so the harness covers a stencil-shaped workload too.
+//
+// Red-black ordering makes each colour's update embarrassingly parallel:
+// a work unit is one row of one colour sweep. Each call to compute_range
+// must process units of the *current* sweep; run() drives full iterations.
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// Red-black SOR kernel.
+///
+/// Unit layout: units() == 2 * rows; unit u < rows is row u of the red
+/// sweep, unit u >= rows is row (u - rows) of the black sweep. Within one
+/// full pass the red units must complete before the black units — which
+/// both run_sequential() and run_parallel() (barrier between colours via
+/// two parallel loops) guarantee. The checksum folds the grid sum.
+class SorKernel final : public Kernel {
+ public:
+  explicit SorKernel(SizeClass size);
+  SorKernel(int n, int iterations);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sor";
+  }
+  [[nodiscard]] long units() const noexcept override {
+    return 2L * (n_ - 2) * iterations_;
+  }
+  void prepare() override;
+  std::uint64_t compute_range(long lo, long hi) override;
+  [[nodiscard]] bool validate(std::uint64_t combined) const override;
+
+  /// Phase-aware parallel execution: a range never spans a red/black phase
+  /// boundary concurrently (see the unit-layout note above).
+  std::uint64_t run_parallel_range(fj::Team& team, long lo, long hi,
+                                   fj::Schedule sched = fj::Schedule::kStatic,
+                                   long chunk = 0) override;
+
+  /// Final relaxed-grid sum (after a full run), for exactness tests.
+  [[nodiscard]] double grid_sum() const;
+
+ private:
+  void relax_row(int row, int parity);
+
+  int n_;
+  int iterations_;
+  double omega_ = 1.25;  // JGF's over-relaxation factor
+  std::vector<double> grid_;
+};
+
+}  // namespace evmp::kernels

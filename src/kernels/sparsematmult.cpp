@@ -1,0 +1,100 @@
+#include "kernels/sparsematmult.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace evmp::kernels {
+
+namespace {
+
+struct SizeParams {
+  int n;
+  int nnz_per_row;
+  int iterations;
+};
+
+SizeParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {256, 8, 4};
+    case SizeClass::kSmall: return {4096, 16, 8};
+    case SizeClass::kMedium: return {16384, 32, 16};
+  }
+  return {4096, 16, 8};
+}
+
+}  // namespace
+
+SparseMatmultKernel::SparseMatmultKernel(SizeClass size)
+    : SparseMatmultKernel(params_for(size).n, params_for(size).nnz_per_row,
+                          params_for(size).iterations) {}
+
+SparseMatmultKernel::SparseMatmultKernel(int n, int avg_nonzeros_per_row,
+                                         int iterations)
+    : n_(n < 4 ? 4 : n), avg_nnz_(avg_nonzeros_per_row < 1
+                                      ? 1
+                                      : avg_nonzeros_per_row),
+      iterations_(iterations < 1 ? 1 : iterations) {}
+
+void SparseMatmultKernel::prepare() {
+  common::Xoshiro256 rng(0x5Da7ull);
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  // Row lengths vary between 1 and 2*avg-1 for genuinely irregular cost.
+  for (int row = 0; row < n_; ++row) {
+    const auto len = 1 + static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(2 * avg_nnz_ - 1)));
+    for (int k = 0; k < len; ++k) {
+      col_idx_.push_back(static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(n_))));
+      values_.push_back(rng.next_double() * 2.0 - 1.0);
+    }
+    row_ptr_[static_cast<std::size_t>(row) + 1] =
+        static_cast<int>(col_idx_.size());
+  }
+  x_.assign(static_cast<std::size_t>(n_), 0.0);
+  for (auto& v : x_) v = rng.next_double();
+  y_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+double SparseMatmultKernel::dot_row(int row) const noexcept {
+  double sum = 0.0;
+  const int begin = row_ptr_[static_cast<std::size_t>(row)];
+  const int end = row_ptr_[static_cast<std::size_t>(row) + 1];
+  for (int k = begin; k < end; ++k) {
+    sum += values_[static_cast<std::size_t>(k)] *
+           x_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+  }
+  return sum;
+}
+
+std::uint64_t SparseMatmultKernel::compute_range(long lo, long hi) {
+  for (long row = lo; row < hi; ++row) {
+    // All iterations for this row, accumulated locally: rows never share
+    // output slots, so any schedule produces identical results.
+    double acc = 0.0;
+    for (int it = 0; it < iterations_; ++it) {
+      acc += dot_row(static_cast<int>(row));
+    }
+    y_[static_cast<std::size_t>(row)] = acc;
+  }
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+bool SparseMatmultKernel::validate(std::uint64_t combined) const {
+  if (combined != static_cast<std::uint64_t>(n_)) return false;
+  // Spot-check two rows against a fresh dot product and require finite
+  // output everywhere.
+  const auto check_row = [&](int row) {
+    const double expected = static_cast<double>(iterations_) * dot_row(row);
+    return std::fabs(y_[static_cast<std::size_t>(row)] - expected) <
+           1e-9 * std::max(1.0, std::fabs(expected));
+  };
+  if (!check_row(0) || !check_row(n_ / 2)) return false;
+  return std::all_of(y_.begin(), y_.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+}  // namespace evmp::kernels

@@ -1,0 +1,52 @@
+#pragma once
+// Java Grande "SparseMatmult": repeated sparse matrix-vector products
+// y += A*x over a random NxN CSR matrix. Another non-paper extension
+// kernel; its irregular per-row cost makes the dynamic/guided schedules
+// actually matter, unlike the four regular paper kernels.
+//
+// Work unit = one matrix row; a unit performs all `iterations`
+// accumulations for its row locally, so units are fully independent and
+// results are schedule-invariant.
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace evmp::kernels {
+
+/// CSR sparse matrix-vector product kernel.
+class SparseMatmultKernel final : public Kernel {
+ public:
+  explicit SparseMatmultKernel(SizeClass size);
+  SparseMatmultKernel(int n, int avg_nonzeros_per_row, int iterations);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sparsematmult";
+  }
+  [[nodiscard]] long units() const noexcept override { return n_; }
+  void prepare() override;
+  std::uint64_t compute_range(long lo, long hi) override;
+  [[nodiscard]] bool validate(std::uint64_t combined) const override;
+
+  [[nodiscard]] const std::vector<double>& result() const noexcept {
+    return y_;
+  }
+  [[nodiscard]] long nonzeros() const noexcept {
+    return static_cast<long>(values_.size());
+  }
+
+ private:
+  [[nodiscard]] double dot_row(int row) const noexcept;
+
+  int n_;
+  int avg_nnz_;
+  int iterations_;
+  // CSR storage.
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace evmp::kernels

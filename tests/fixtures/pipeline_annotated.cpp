@@ -1,0 +1,81 @@
+// evmpcc INPUT FIXTURE — this file is not compiled directly. The build
+// translates it with the freshly built evmpcc (runtime expression "rt",
+// see tests/CMakeLists.txt) and compiles the OUTPUT into test_integration,
+// proving end-to-end that generated code is valid, correct C++.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/evmp.hpp"
+
+namespace evmp_fixture {
+
+// The paper's §IV.A compilation example, extended with name_as/wait and an
+// if-clause. Requires targets "worker" and "io" plus an "edt" loop.
+std::vector<std::string> run_pipeline(evmp::Runtime& rt, bool offload) {
+  std::vector<std::string> log;
+  std::mutex mu;
+  auto add = [&](const std::string& s) {
+    std::scoped_lock lk(mu);
+    log.push_back(s);
+  };
+  int value = 0;
+
+  add("start");
+  //#omp target virtual(worker) await if(offload)
+  {
+    value += 1;  // S1
+    //#omp target virtual(io) name_as(batch)
+    { add("batch-a"); }
+    //#omp target virtual(io) name_as(batch)
+    { add("batch-b"); }
+    //#omp wait(batch)
+    value += 10;  // S3
+    //#omp target virtual(edt) nowait firstprivate(value)
+    { add("progress " + std::to_string(value)); }
+  }
+  add(value == 11 ? "sum-ok" : "sum-bad");
+
+  int doubled = 0;
+  //#omp target virtual(worker) await
+  doubled = value * 2;
+
+  add(doubled == 22 ? "double-ok" : "double-bad");
+  return log;
+}
+
+// Traditional OpenMP directives (the fork-join model the event extension
+// coexists with), also rewritten by evmpcc: worksharing with reductions.
+double run_traditional(int n) {
+  std::vector<double> data(static_cast<std::size_t>(n));
+  #pragma omp parallel for schedule(static) firstprivate(n)
+  for (int i = 0; i < n; ++i) {
+    data[static_cast<std::size_t>(i)] = static_cast<double>(i % (n + 1));
+  }
+
+  double sum = 0.0;
+  double largest = -1.0;
+  long hits = 0;
+  #pragma omp parallel for num_threads(3) schedule(dynamic, 8) \
+      reduction(+: sum) reduction(max: largest) reduction(+: hits)
+  for (int i = 0; i < n; ++i) {
+    const double v = data[static_cast<std::size_t>(i)];
+    sum += v;
+    if (v > largest) largest = v;
+    if (v > 1.0) ++hits;
+  }
+
+  int members = 0;
+  std::mutex members_mu;
+  #pragma omp parallel num_threads(4)
+  {
+    std::scoped_lock lk(members_mu);
+    ++members;
+  }
+
+  return sum + largest + static_cast<double>(hits) +
+         1000.0 * static_cast<double>(members);
+}
+
+}  // namespace evmp_fixture

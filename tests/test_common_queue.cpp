@@ -1,0 +1,196 @@
+// Unit tests for common/queue (MpmcQueue) and common/sync primitives.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/sync.hpp"
+
+namespace evmp::common {
+namespace {
+
+TEST(MpmcQueue, FifoOrder) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, PushFrontJumpsTheLine) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push_front(0);
+  EXPECT_EQ(*q.try_pop(), 0);
+  EXPECT_EQ(*q.try_pop(), 1);
+}
+
+TEST(MpmcQueue, PopBlocksUntilPush) {
+  MpmcQueue<int> q;
+  std::jthread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    q.push(42);
+  });
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumers) {
+  MpmcQueue<int> q;
+  std::atomic<int> woke{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int i = 0; i < 3; ++i) {
+      consumers.emplace_back([&] {
+        auto v = q.pop();
+        EXPECT_FALSE(v.has_value());
+        woke.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    q.close();
+  }
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(MpmcQueue, CloseDrainsRemainingItems) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // refused
+  EXPECT_EQ(*q.pop(), 1);   // still poppable
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, PopForTimesOut) {
+  MpmcQueue<int> q;
+  const auto v = q.pop_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(MpmcQueue, PopForReturnsItemWithinTimeout) {
+  MpmcQueue<int> q;
+  std::jthread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    q.push(7);
+  });
+  const auto v = q.pop_for(std::chrono::seconds{5});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(MpmcQueue, MoveOnlyPayload) {
+  MpmcQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(MpmcQueue, StressEveryItemDeliveredOnce) {
+  MpmcQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  std::mutex seen_mu;
+  std::multiset<int> seen;
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (auto v = q.pop()) {
+          std::scoped_lock lk(seen_mu);
+          seen.insert(*v);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            q.push(p * kPerProducer + i);
+          }
+        });
+      }
+    }
+    q.close();
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  // Every value exactly once.
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(seen.count(p * kPerProducer), 1u);
+    EXPECT_EQ(seen.count(p * kPerProducer + kPerProducer - 1), 1u);
+  }
+}
+
+TEST(CountdownLatch, OpensAtZero) {
+  CountdownLatch latch(2);
+  EXPECT_EQ(latch.pending(), 2u);
+  latch.count_down();
+  EXPECT_FALSE(latch.wait_for(std::chrono::milliseconds{1}));
+  latch.count_down();
+  latch.wait();  // returns immediately
+  EXPECT_EQ(latch.pending(), 0u);
+}
+
+TEST(CountdownLatch, ExtraCountDownIsHarmless) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  latch.count_down();  // no underflow
+  EXPECT_TRUE(latch.wait_for(std::chrono::milliseconds{1}));
+}
+
+TEST(CountdownLatch, CrossThreadRelease) {
+  CountdownLatch latch(3);
+  {
+    std::vector<std::jthread> workers;
+    for (int i = 0; i < 3; ++i) {
+      workers.emplace_back([&latch] { latch.count_down(); });
+    }
+  }
+  EXPECT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+}
+
+TEST(CountdownLatch, ResetRearms) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  latch.wait();
+  latch.reset(1);
+  EXPECT_FALSE(latch.wait_for(std::chrono::milliseconds{1}));
+}
+
+TEST(ManualResetEvent, SetReleasesWaiters) {
+  ManualResetEvent ev;
+  EXPECT_FALSE(ev.is_set());
+  std::jthread setter([&ev] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    ev.set();
+  });
+  ev.wait();
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(ManualResetEvent, ResetBlocksAgain) {
+  ManualResetEvent ev;
+  ev.set();
+  ev.wait();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+}
+
+}  // namespace
+}  // namespace evmp::common

@@ -1,0 +1,318 @@
+// Unit tests for common/stats, common/table, common/rng, common/env,
+// common/cli and common/clock.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/clock.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace evmp::common {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MeanMinMax) {
+  OnlineStats s;
+  for (double x : {4.0, 1.0, 7.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(OnlineStats, VarianceMatchesTwoPass) {
+  OnlineStats s;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double mean = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    mean += x;
+  }
+  mean /= 8.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 7.0;  // sample variance
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  OnlineStats b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(PercentileSampler, ExactQuartiles) {
+  PercentileSampler p;
+  for (int i = 1; i <= 101; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 51.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 101.0);
+  EXPECT_NEAR(p.percentile(0.25), 26.0, 1e-9);
+}
+
+TEST(PercentileSampler, InterpolatesBetweenRanks) {
+  PercentileSampler p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.median(), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.75), 7.5);
+}
+
+TEST(PercentileSampler, MergePreservesSamples) {
+  PercentileSampler a;
+  PercentileSampler b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(PercentileSampler, AddAfterQueryResorts) {
+  PercentileSampler p;
+  p.add(5.0);
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+  p.add(1.0);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileWithinRelativeError) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) {
+    h.record(1'000'000);  // 1ms
+  }
+  const auto p50 = static_cast<double>(h.percentile(0.5));
+  EXPECT_NEAR(p50, 1e6, 1e6 * 0.13);  // <= 12.5% bucket error + rounding
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 1e6);
+}
+
+TEST(LatencyHistogram, OrderedPercentiles) {
+  LatencyHistogram h;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    h.record(rng.next_below(50'000'000));
+  }
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+  EXPECT_LE(h.percentile(0.99), h.percentile(1.0));
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&h, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          h.record(static_cast<std::uint64_t>(t + 1) * 1000u);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(h.total_count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(TextTable, AlignsAndPrints) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  t.add_row({"b", "20.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; row padded to 3 cells
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(13);
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256 rng(17);
+  OnlineStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.next_exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.2);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Clock, PreciseSleepIsAccurate) {
+  const Stopwatch sw;
+  precise_sleep(Millis{20});
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 19.0);
+  EXPECT_LT(ms, 60.0);  // generous: single-core CI container
+}
+
+TEST(Clock, PreciseSleepZeroReturnsImmediately) {
+  const Stopwatch sw;
+  precise_sleep(Nanos{0});
+  precise_sleep(Nanos{-5});
+  EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+TEST(Clock, BusySpinBurnsAtLeastRequested) {
+  const Stopwatch sw;
+  (void)busy_spin(Millis{5});
+  EXPECT_GE(sw.elapsed_ms(), 4.5);
+}
+
+TEST(Env, ParsesLongAndBool) {
+  ::setenv("EVMP_TEST_LONG", "123", 1);
+  ::setenv("EVMP_TEST_BOOL_T", "yes", 1);
+  ::setenv("EVMP_TEST_BOOL_F", "OFF", 1);
+  ::setenv("EVMP_TEST_BAD", "12x", 1);
+  EXPECT_EQ(env_long("EVMP_TEST_LONG"), 123);
+  EXPECT_EQ(env_bool("EVMP_TEST_BOOL_T"), true);
+  EXPECT_EQ(env_bool("EVMP_TEST_BOOL_F"), false);
+  EXPECT_FALSE(env_long("EVMP_TEST_BAD").has_value());
+  EXPECT_FALSE(env_long("EVMP_TEST_UNSET_NEVER").has_value());
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Greedy binding: positional args go before bare boolean flags.
+  const char* argv[] = {"prog",       "--count=5", "--rate", "2.5",
+                        "positional", "--verbose", "--list=1,2,3"};
+  CliArgs args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_long("count", 0), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  const auto list = args.get_long_list("list", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], 3);
+}
+
+TEST(Cli, FallbacksWhenAbsentOrMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_long("n", 7), 7);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  const auto list = args.get_long_list("missing", {4, 5});
+  ASSERT_EQ(list.size(), 2u);
+}
+
+}  // namespace
+}  // namespace evmp::common

@@ -1,0 +1,527 @@
+// Tests for the evmpcc source-to-source translator: directive parsing
+// (Figure 5 grammar), code-aware scanning, block extraction, code
+// generation, and full-source translation including nesting.
+
+#include <gtest/gtest.h>
+
+#include "compilerlib/directive.hpp"
+#include "compilerlib/source_scanner.hpp"
+#include "compilerlib/translator.hpp"
+
+namespace evmp::compiler {
+namespace {
+
+// ---- directive parser -------------------------------------------------------
+
+TEST(DirectiveParser, TargetVirtualAwait) {
+  const auto d = parse_directive("target virtual(worker) await", 3);
+  EXPECT_EQ(d.kind, Directive::Kind::kTarget);
+  ASSERT_TRUE(d.virtual_name.has_value());
+  EXPECT_EQ(*d.virtual_name, "worker");
+  EXPECT_EQ(d.mode, Async::kAwait);
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.target_name(), "worker");
+}
+
+TEST(DirectiveParser, TargetDeviceDefaultMode) {
+  const auto d = parse_directive("target device(2)", 1);
+  ASSERT_TRUE(d.device_id.has_value());
+  EXPECT_EQ(*d.device_id, 2);
+  EXPECT_EQ(d.mode, Async::kDefault);
+  EXPECT_EQ(d.target_name(), "device:2");
+  EXPECT_TRUE(d.is_device());
+}
+
+TEST(DirectiveParser, NameAsCarriesTag) {
+  const auto d = parse_directive("target virtual(w) name_as(dl)", 1);
+  EXPECT_EQ(d.mode, Async::kNameAs);
+  EXPECT_EQ(d.name_tag, "dl");
+}
+
+TEST(DirectiveParser, NowaitClause) {
+  const auto d = parse_directive("target virtual(w) nowait", 1);
+  EXPECT_EQ(d.mode, Async::kNowait);
+}
+
+TEST(DirectiveParser, NoTargetPropertyMeansDefaultTarget) {
+  const auto d = parse_directive("target nowait", 1);
+  EXPECT_FALSE(d.virtual_name.has_value());
+  EXPECT_FALSE(d.device_id.has_value());
+  EXPECT_TRUE(d.target_name().empty());
+}
+
+TEST(DirectiveParser, IfClauseKeepsExpressionText) {
+  const auto d =
+      parse_directive("target virtual(w) await if(n > compute(3, x))", 1);
+  EXPECT_EQ(d.if_condition, "n > compute(3, x)");
+}
+
+TEST(DirectiveParser, FirstprivateList) {
+  const auto d = parse_directive("target virtual(w) firstprivate(a, b, c)", 1);
+  EXPECT_EQ(d.firstprivate, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DirectiveParser, DefaultSharedAndNone) {
+  EXPECT_FALSE(parse_directive("target virtual(w) default(shared)", 1)
+                   .default_none);
+  EXPECT_TRUE(parse_directive("target virtual(w) default(none)", 1)
+                  .default_none);
+  EXPECT_THROW(parse_directive("target virtual(w) default(bogus)", 1),
+               TranslateError);
+}
+
+TEST(DirectiveParser, MapClauses) {
+  const auto d = parse_directive(
+      "target device(0) map(to: a, b) map(from: c) map(tofrom: d)", 1);
+  EXPECT_EQ(d.map_to, (std::vector<std::string>{"a", "b", "d"}));
+  EXPECT_EQ(d.map_from, (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(DirectiveParser, WaitDirective) {
+  const auto d = parse_directive("wait(downloads)", 9);
+  EXPECT_EQ(d.kind, Directive::Kind::kWait);
+  EXPECT_EQ(d.wait_tag, "downloads");
+}
+
+TEST(DirectiveParser, CommaSeparatedClauses) {
+  const auto d = parse_directive("target virtual(w), nowait", 1);
+  EXPECT_EQ(d.mode, Async::kNowait);
+}
+
+struct BadDirective {
+  std::string text;
+  std::string why;
+};
+
+class DirectiveParserErrors : public ::testing::TestWithParam<BadDirective> {};
+
+TEST_P(DirectiveParserErrors, Rejects) {
+  EXPECT_THROW(parse_directive(GetParam().text, 5), TranslateError)
+      << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bad, DirectiveParserErrors,
+    ::testing::Values(
+        BadDirective{"task untied", "unknown directive"},
+        BadDirective{"target virtual", "virtual without argument"},
+        BadDirective{"target virtual()", "empty virtual name"},
+        BadDirective{"target device(x)", "non-integer device"},
+        BadDirective{"target virtual(a) device(1)",
+                     "duplicate target property"},
+        BadDirective{"target nowait await", "duplicate scheduling"},
+        BadDirective{"target name_as", "name_as without tag"},
+        BadDirective{"target frobnicate", "unknown clause"},
+        BadDirective{"wait", "wait without tag"},
+        BadDirective{"target virtual(w) if()", "empty if"},
+        BadDirective{"target virtual(w) map(a)", "map without type"},
+        BadDirective{"target virtual(w) map(sideways: a)",
+                     "bad map type"},
+        BadDirective{"target virtual(w await", "unbalanced paren"}));
+
+TEST(DirectiveParserErrors, ErrorCarriesLineNumber) {
+  try {
+    parse_directive("target bogus", 17);
+    FAIL() << "expected TranslateError";
+  } catch (const TranslateError& e) {
+    EXPECT_EQ(e.line(), 17);
+    EXPECT_NE(std::string(e.what()).find("17"), std::string::npos);
+  }
+}
+
+TranslateOptions no_include() {
+  TranslateOptions o;
+  o.add_include = false;
+  return o;
+}
+
+// ---- traditional directives (parallel / parallel for) ----------------------
+
+TEST(DirectiveParser, PlainParallel) {
+  const auto d = parse_directive("parallel", 1);
+  EXPECT_EQ(d.kind, Directive::Kind::kParallel);
+  EXPECT_TRUE(d.num_threads.empty());
+}
+
+TEST(DirectiveParser, ParallelWithClauses) {
+  const auto d = parse_directive(
+      "parallel num_threads(2*k) firstprivate(a) private(b, c) if(go)", 1);
+  EXPECT_EQ(d.kind, Directive::Kind::kParallel);
+  EXPECT_EQ(d.num_threads, "2*k");
+  EXPECT_EQ(d.firstprivate, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(d.privates, (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(d.if_condition, "go");
+}
+
+TEST(DirectiveParser, ParallelForWithScheduleAndReductions) {
+  const auto d = parse_directive(
+      "parallel for schedule(guided, 16) reduction(+: s, t) "
+      "reduction(max: m)",
+      1);
+  EXPECT_EQ(d.kind, Directive::Kind::kParallelFor);
+  EXPECT_EQ(d.schedule_kind, "guided");
+  EXPECT_EQ(d.schedule_chunk, "16");
+  ASSERT_EQ(d.reductions.size(), 3u);
+  EXPECT_EQ(d.reductions[0].op, "+");
+  EXPECT_EQ(d.reductions[0].var, "s");
+  EXPECT_EQ(d.reductions[1].var, "t");
+  EXPECT_EQ(d.reductions[2].op, "max");
+}
+
+TEST(DirectiveParser, ParallelErrors) {
+  EXPECT_THROW(parse_directive("parallel schedule(static)", 1),
+               TranslateError);  // schedule needs 'for'
+  EXPECT_THROW(parse_directive("parallel for schedule(chaotic)", 1),
+               TranslateError);
+  EXPECT_THROW(parse_directive("parallel for reduction(avg: x)", 1),
+               TranslateError);
+  EXPECT_THROW(parse_directive("parallel num_threads()", 1), TranslateError);
+  EXPECT_THROW(parse_directive("parallel for reduction(+)", 1),
+               TranslateError);
+}
+
+TEST(ForHeaderParser, CanonicalForms) {
+  const auto h = parse_for_header("int i = 0; i < n; ++i", 1);
+  EXPECT_EQ(h.type, "int");
+  EXPECT_EQ(h.var, "i");
+  EXPECT_EQ(h.init, "0");
+  EXPECT_EQ(h.bound, "n");
+
+  const auto h2 =
+      parse_for_header("std::size_t idx = base(); idx <= last; idx++", 1);
+  EXPECT_EQ(h2.type, "std::size_t");
+  EXPECT_EQ(h2.var, "idx");
+  EXPECT_EQ(h2.init, "base()");
+  EXPECT_EQ(h2.bound, "(last) + 1");
+
+  const auto h3 = parse_for_header("long j = a; j < b; j += 1", 1);
+  EXPECT_EQ(h3.var, "j");
+  const auto h4 = parse_for_header("long j = a; j < b; j = j + 1", 1);
+  EXPECT_EQ(h4.var, "j");
+}
+
+TEST(ForHeaderParser, RejectsNonCanonicalLoops) {
+  EXPECT_THROW(parse_for_header("int i = 0; i < n", 1), TranslateError);
+  EXPECT_THROW(parse_for_header("i; i < n; ++i", 1), TranslateError);
+  EXPECT_THROW(parse_for_header("int i = 0; i > n; --i", 1), TranslateError);
+  EXPECT_THROW(parse_for_header("int i = 0; j < n; ++i", 1), TranslateError);
+  EXPECT_THROW(parse_for_header("int i = 0; i < n; i += 2", 1),
+               TranslateError);
+}
+
+TEST(Translator, ParallelForBecomesWorksharing) {
+  const auto r = translate_source(
+      "#pragma omp parallel for schedule(dynamic, 2)\n"
+      "for (int i = 0; i < n; ++i) { a[i] = i; }\n",
+      no_include());
+  EXPECT_EQ(r.directives_rewritten, 1);
+  EXPECT_NE(r.output.find("default_parallel_for"), std::string::npos);
+  EXPECT_NE(r.output.find("Schedule::kDynamic"), std::string::npos);
+  EXPECT_NE(r.output.find("int i = static_cast<int>"), std::string::npos);
+}
+
+TEST(Translator, ParallelForWithNumThreadsBuildsTeam) {
+  const auto r = translate_source(
+      "#pragma omp parallel for num_threads(4)\n"
+      "for (long i = 0; i < 10; ++i) f(i);\n",
+      no_include());
+  EXPECT_NE(r.output.find("::evmp::fj::Team __evmp_team_0"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("parallel_for(__evmp_team_0"), std::string::npos);
+}
+
+TEST(Translator, ReductionGeneratesPartialsAndCombine) {
+  const auto r = translate_source(
+      "#pragma omp parallel for reduction(+: sum)\n"
+      "for (int i = 0; i < n; ++i) sum += i;\n",
+      no_include());
+  EXPECT_NE(r.output.find("__evmp_red_sum_0"), std::string::npos);
+  EXPECT_NE(r.output.find("ident_plus"), std::string::npos);
+  EXPECT_NE(r.output.find("sum = sum + __evmp_p_0.value;"),
+            std::string::npos);
+}
+
+TEST(Translator, PragmaLineContinuation) {
+  const auto r = translate_source(
+      "#pragma omp parallel for \\\n    reduction(+: s)\n"
+      "for (int i = 0; i < n; ++i) s += i;\n",
+      no_include());
+  EXPECT_EQ(r.directives_rewritten, 1);
+  EXPECT_NE(r.output.find("__evmp_red_s_0"), std::string::npos);
+}
+
+TEST(Translator, ParallelRegionUsesTeam) {
+  const auto r = translate_source(
+      "//#omp parallel num_threads(2)\n{ g(); }\n", no_include());
+  EXPECT_NE(r.output.find(".parallel(__evmp_region_0)"), std::string::npos);
+}
+
+TEST(Translator, ParallelForMissingLoopIsAnError) {
+  EXPECT_THROW(
+      translate_source("#pragma omp parallel for\nint x = 1;\n"),
+      TranslateError);
+}
+
+TEST(Translator, NestedTargetInsideParallelFor) {
+  const auto r = translate_source(
+      "#pragma omp parallel for\n"
+      "for (int i = 0; i < n; ++i) {\n"
+      "  //#omp target virtual(edt) nowait\n"
+      "  { update(i); }\n"
+      "}\n",
+      no_include());
+  EXPECT_EQ(r.directives_rewritten, 2);
+  EXPECT_NE(r.output.find("invoke_target_block(\"edt\""), std::string::npos);
+}
+
+// ---- source scanner ---------------------------------------------------------
+
+TEST(Scanner, FindsJavaStyleDirective) {
+  SourceScanner s("int x;\n//#omp target virtual(w) nowait\n{ x = 1; }\n");
+  const auto m = s.find_directive(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->line, 2);
+  EXPECT_EQ(m->text, " target virtual(w) nowait");
+}
+
+TEST(Scanner, FindsPragmaDirective) {
+  SourceScanner s("#pragma omp target virtual(w) await\n{ }\n");
+  const auto m = s.find_directive(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->line, 1);
+  EXPECT_EQ(m->text, " target virtual(w) await");
+}
+
+TEST(Scanner, IgnoresDirectiveLookalikesInStrings) {
+  SourceScanner s(
+      "const char* s = \"//#omp target virtual(w)\";\n"
+      "const char* p = \"#pragma omp target\";\n");
+  EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, IgnoresPragmaInBlockComment) {
+  SourceScanner s("/* #pragma omp target virtual(w) */ int x;\n");
+  EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, OrdinaryCommentIsNotADirective) {
+  SourceScanner s("// ompX and omphalos are not directives\nint x;\n");
+  EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, ExtractsBracedBlock) {
+  const std::string src = "  { a(); { nested(); } b(); }\nrest";
+  SourceScanner s(src);
+  const auto b = s.extract_block(0);
+  EXPECT_TRUE(b.braced);
+  EXPECT_EQ(src.substr(b.begin, b.end - b.begin),
+            "{ a(); { nested(); } b(); }");
+}
+
+TEST(Scanner, ExtractsSingleStatement) {
+  const std::string src = "  download(a, \";\", b);\nnext();";
+  SourceScanner s(src);
+  const auto b = s.extract_block(0);
+  EXPECT_FALSE(b.braced);
+  EXPECT_EQ(src.substr(b.begin, b.end - b.begin),
+            "download(a, \";\", b);");
+}
+
+TEST(Scanner, BracesInsideStringsDoNotConfuseExtraction) {
+  const std::string src = "{ log(\"{{{\"); }";
+  SourceScanner s(src);
+  const auto b = s.extract_block(0);
+  EXPECT_EQ(b.end, src.size());
+}
+
+TEST(Scanner, BracesInsideCommentsDoNotConfuseExtraction) {
+  const std::string src = "{ a(); /* } */ b(); }";
+  SourceScanner s(src);
+  const auto b = s.extract_block(0);
+  EXPECT_EQ(b.end, src.size());
+}
+
+TEST(Scanner, RawStringsAreSkipped) {
+  const std::string src = "{ auto s = R\"(} //#omp target)\"; f(); }";
+  SourceScanner s(src);
+  const auto b = s.extract_block(0);
+  EXPECT_EQ(b.end, src.size());
+  EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, UnbalancedBlockThrows) {
+  SourceScanner s("{ a();");
+  EXPECT_THROW((void)s.extract_block(0), TranslateError);
+}
+
+TEST(Scanner, MissingBlockThrows) {
+  SourceScanner s("   \n  ");
+  EXPECT_THROW((void)s.extract_block(0), TranslateError);
+}
+
+TEST(Scanner, DigitSeparatorIsNotCharLiteral) {
+  SourceScanner s("{ long n = 1'000'000; }");
+  const auto b = s.extract_block(0);
+  EXPECT_EQ(b.end, s.source().size());
+}
+
+// ---- translation ------------------------------------------------------------
+
+TEST(Translator, RewritesSimpleNowait) {
+  const auto r = translate_source(
+      "//#omp target virtual(worker) nowait\n{ work(); }\n", no_include());
+  EXPECT_EQ(r.directives_rewritten, 1);
+  EXPECT_NE(r.output.find("__evmp_region_0"), std::string::npos);
+  EXPECT_NE(r.output.find("invoke_target_block(\"worker\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("Async::kNowait"), std::string::npos);
+  EXPECT_NE(r.output.find("work();"), std::string::npos);
+  // The directive comment is gone.
+  EXPECT_EQ(r.output.find("//#omp"), std::string::npos);
+}
+
+TEST(Translator, NestedDirectivesTransformDepthFirst) {
+  const std::string src =
+      "//#omp target virtual(worker) await\n"
+      "{\n"
+      "  s1();\n"
+      "  //#omp target virtual(edt) nowait\n"
+      "  { s2(); }\n"
+      "  s3();\n"
+      "}\n";
+  const auto r = translate_source(src, no_include());
+  EXPECT_EQ(r.directives_rewritten, 2);
+  const auto outer = r.output.find("invoke_target_block(\"worker\"");
+  const auto inner = r.output.find("invoke_target_block(\"edt\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  EXPECT_LT(inner, outer);  // inner call sits inside the outer region body
+  EXPECT_NE(r.output.find("__evmp_region_1"), std::string::npos);
+}
+
+TEST(Translator, WaitDirectiveBecomesWaitTag) {
+  const auto r = translate_source("//#omp wait(dl)\n", no_include());
+  EXPECT_EQ(r.directives_rewritten, 1);
+  EXPECT_NE(r.output.find("wait_tag(\"dl\")"), std::string::npos);
+}
+
+TEST(Translator, NameAsPassesTag) {
+  const auto r = translate_source(
+      "//#omp target virtual(w) name_as(batch)\nf();\n", no_include());
+  EXPECT_NE(r.output.find("Async::kNameAs, \"batch\""), std::string::npos);
+}
+
+TEST(Translator, IfClauseFallsBackToInlineCall) {
+  const auto r = translate_source(
+      "//#omp target virtual(w) nowait if(cond)\n{ f(); }\n", no_include());
+  EXPECT_NE(r.output.find("if (cond)"), std::string::npos);
+  EXPECT_NE(r.output.find("else { __evmp_region_0(); }"), std::string::npos);
+}
+
+TEST(Translator, FirstprivateBecomesValueCapture) {
+  const auto r = translate_source(
+      "//#omp target virtual(w) nowait firstprivate(x, y)\n{ g(x, y); }\n",
+      no_include());
+  EXPECT_NE(r.output.find("[&, x, y]"), std::string::npos);
+}
+
+TEST(Translator, DefaultNoneDropsReferenceCapture) {
+  const auto r = translate_source(
+      "//#omp target virtual(w) nowait default(none) firstprivate(x)\n"
+      "{ g(x); }\n",
+      no_include());
+  EXPECT_NE(r.output.find("[x]()"), std::string::npos);
+}
+
+TEST(Translator, DeviceTargetEmitsTransfers) {
+  const auto r = translate_source(
+      "#pragma omp target device(0) map(to: in) map(from: out)\n"
+      "{ k(in, out); }\n",
+      no_include());
+  EXPECT_NE(r.output.find("device_transfer_to(\"device:0\", sizeof(in))"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("device_transfer_from(\"device:0\", sizeof(out))"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("invoke_target_block(\"device:0\""),
+            std::string::npos);
+}
+
+TEST(Translator, NoTargetPropertyUsesDefaultTarget) {
+  const auto r =
+      translate_source("//#omp target nowait\n{ f(); }\n", no_include());
+  EXPECT_NE(r.output.find("invoke_default("), std::string::npos);
+}
+
+TEST(Translator, SingleStatementBlock) {
+  const auto r = translate_source(
+      "//#omp target virtual(w) await\ndownload(i);\n", no_include());
+  EXPECT_NE(r.output.find("{ download(i); }"), std::string::npos);
+}
+
+TEST(Translator, UntouchedSourcePassesThroughVerbatim) {
+  const std::string src = "int main() { return 0; } // no directives\n";
+  const auto r = translate_source(src, no_include());
+  EXPECT_EQ(r.output, src);
+  EXPECT_EQ(r.directives_rewritten, 0);
+}
+
+TEST(Translator, IncludeAddedOnlyWhenRewriting) {
+  const auto untouched = translate_source("int x;\n");
+  EXPECT_EQ(untouched.output.find("#include"), std::string::npos);
+  const auto rewritten =
+      translate_source("//#omp target virtual(w) nowait\n{ f(); }\n");
+  EXPECT_EQ(rewritten.output.rfind("#include \"core/evmp.hpp\"", 0), 0u);
+}
+
+TEST(Translator, CustomRuntimeExpression) {
+  TranslateOptions opt;
+  opt.add_include = false;
+  opt.runtime_expr = "my_rt";
+  const auto r = translate_source(
+      "//#omp target virtual(w) nowait\n{ f(); }\n", opt);
+  EXPECT_NE(r.output.find("my_rt.invoke_target_block"), std::string::npos);
+}
+
+TEST(Translator, NestedLineNumbersAreAbsolute) {
+  const std::string src =
+      "a();\n"
+      "//#omp target virtual(w) nowait\n"
+      "{\n"
+      "  //#omp target virtual(edt) nowait\n"
+      "  { b(); }\n"
+      "}\n";
+  const auto r = translate_source(src, no_include());
+  EXPECT_NE(r.output.find("evmpcc line 2"), std::string::npos);
+  EXPECT_NE(r.output.find("evmpcc line 4"), std::string::npos);
+}
+
+TEST(Translator, MalformedDirectiveReportsSourceLine) {
+  try {
+    translate_source("x();\n//#omp target bogus\n{ }\n");
+    FAIL() << "expected TranslateError";
+  } catch (const TranslateError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Translator, MissingBlockIsAnError) {
+  EXPECT_THROW(translate_source("//#omp target virtual(w) nowait\n"),
+               TranslateError);
+}
+
+// generate_invocation is exercised directly for precise shape assertions.
+TEST(Codegen, AwaitInvocationShape) {
+  Directive d;
+  d.virtual_name = "worker";
+  d.mode = Async::kAwait;
+  d.line = 12;
+  const auto code =
+      generate_invocation(d, " body(); ", true, 7, TranslateOptions{});
+  EXPECT_NE(code.find("__evmp_region_7"), std::string::npos);
+  EXPECT_NE(code.find("[&]()"), std::string::npos);
+  EXPECT_NE(code.find("Async::kAwait"), std::string::npos);
+  EXPECT_NE(code.find("body();"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evmp::compiler

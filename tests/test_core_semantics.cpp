@@ -1,0 +1,250 @@
+// Semantic property tests for the programming model itself:
+//
+//  * sequential equivalence — "adding directives does not influence the
+//    original correctness of the sequential execution": a directive-laden
+//    program must compute the same observable result with the runtime
+//    enabled and disabled;
+//  * data-context sharing — virtual targets share the host memory, so [&]
+//    captures behave like default(shared);
+//  * continuation ordering — code after an await block runs after it;
+//  * the directive-style macros.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "core/directive.hpp"
+#include "core/runtime.hpp"
+#include "core/target.hpp"
+#include "event/event_loop.hpp"
+#include "event/gui.hpp"
+#include "kernels/crypt.hpp"
+
+namespace evmp {
+namespace {
+
+/// The Figure 6 program shape, parameterised by a Runtime. Returns the
+/// "downloaded image" checksum that ends up displayed plus the log of
+/// status messages, which together are the observable behaviour.
+struct Fig6Result {
+  std::uint64_t displayed = 0;
+  std::vector<std::string> log;
+  bool operator==(const Fig6Result&) const = default;
+};
+
+Fig6Result run_fig6_program(Runtime& rt, event::EventLoop& edt) {
+  Fig6Result result;
+  std::mutex log_mu;
+  auto log = [&](const std::string& s) {
+    std::scoped_lock lk(log_mu);
+    result.log.push_back(s);
+  };
+  common::CountdownLatch finished(1);
+
+  edt.post([&] {
+    log("Started EDT handling");
+    const int hscode = 7;  // Info -> hash code
+    // //#omp target virtual(worker) await
+    rt.target("worker").await([&] {
+      // downloadAndCompute(hscode): network download + format conversion
+      std::uint64_t buf = 0;
+      for (int i = 0; i < 1000; ++i) {
+        buf = buf * 31 + static_cast<std::uint64_t>(hscode + i);
+      }
+      const std::uint64_t img = buf ^ 0xabcdefull;
+      // //#omp target virtual(edt) (default wait: display must precede
+      // the "Finished!" message)
+      rt.target("edt").run([&] {
+        result.displayed = img;
+        log("displayImg");
+      });
+    });
+    // //#omp target virtual(edt) — we are on the EDT: runs inline
+    rt.target("edt").run([&] { log("Finished!"); });
+    finished.count_down();
+  });
+  finished.wait();
+  edt.wait_until_idle();
+  return result;
+}
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edt_.start();
+    rt_.register_edt("edt", edt_);
+    rt_.create_worker("worker", 2);
+  }
+  void TearDown() override { rt_.clear(); }
+
+  Runtime rt_;
+  event::EventLoop edt_{"edt"};
+};
+
+TEST_F(SemanticsTest, SequentialEquivalenceOfFigure6) {
+  const Fig6Result parallel_run = run_fig6_program(rt_, edt_);
+  rt_.set_enabled(false);
+  const Fig6Result sequential_run = run_fig6_program(rt_, edt_);
+  rt_.set_enabled(true);
+  EXPECT_EQ(parallel_run, sequential_run);
+  EXPECT_NE(parallel_run.displayed, 0u);
+  ASSERT_EQ(parallel_run.log.size(), 3u);
+  EXPECT_EQ(parallel_run.log[0], "Started EDT handling");
+  EXPECT_EQ(parallel_run.log[1], "displayImg");
+  EXPECT_EQ(parallel_run.log[2], "Finished!");
+}
+
+TEST_F(SemanticsTest, DataContextSharing) {
+  // §III-B: "All the operations inside a target block share the intuitive
+  // data context as if the target directive does not exist."
+  int shared_counter = 0;
+  std::string shared_text;
+  rt_.target("worker").run([&] {
+    shared_counter = 41;
+    shared_text = "from worker";
+  });
+  shared_counter += 1;
+  EXPECT_EQ(shared_counter, 42);
+  EXPECT_EQ(shared_text, "from worker");
+}
+
+TEST_F(SemanticsTest, FirstprivateByValueCapture) {
+  int x = 10;
+  common::CountdownLatch done(1);
+  std::atomic<int> observed{0};
+  // Capturing by value == firstprivate(x): the block sees the value at
+  // directive entry, not later mutations.
+  rt_.target("worker").nowait([x, &observed, &done] {
+    common::precise_sleep(common::Millis{5});
+    observed.store(x);
+    done.count_down();
+  });
+  x = 99;
+  done.wait();
+  EXPECT_EQ(observed.load(), 10);
+}
+
+TEST_F(SemanticsTest, AwaitContinuationRunsAfterBlock) {
+  // "The end of a target block is intuitively followed by operations which
+  // depend on it" — await's continuation must observe the block's effects.
+  std::vector<int> order;
+  rt_.target("worker").await([&] {
+    common::precise_sleep(common::Millis{10});
+    order.push_back(1);
+  });
+  order.push_back(2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST_F(SemanticsTest, AwaitContinuationStaysOnEncounteringThread) {
+  std::thread::id before;
+  std::thread::id after;
+  common::CountdownLatch done(1);
+  edt_.post([&] {
+    before = std::this_thread::get_id();
+    rt_.target("worker").await([] { common::precise_sleep(common::Millis{5}); });
+    after = std::this_thread::get_id();
+    done.count_down();
+  });
+  done.wait();
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(SemanticsTest, NowaitBroadcastDoesNotBlock) {
+  // §III-C: nowait "is useful for broadcasting interim updates".
+  common::ManualResetEvent release;
+  const common::Stopwatch sw;
+  std::vector<exec::TaskHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(
+        rt_.target("worker").nowait([&release] { release.wait(); }));
+  }
+  EXPECT_LT(sw.elapsed_ms(), 50.0);
+  release.set();
+  // Join before `release` leaves scope: queued blocks reference it.
+  for (auto& h : handles) h.wait();
+}
+
+TEST_F(SemanticsTest, GuiConfinementHoldsThroughDirectives) {
+  event::Gui gui(edt_, event::ConfinementPolicy::kThrow);
+  auto& label = gui.add_label("status");
+  common::CountdownLatch done(1);
+  // Worker block must hop to the edt target for the GUI update; doing so
+  // keeps the confinement checker silent.
+  rt_.target("worker").nowait([&] {
+    rt_.target("edt").nowait([&] {
+      label.set_text("updated safely");
+      done.count_down();
+    });
+  });
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(gui.violations(), 0u);
+  EXPECT_EQ(label.updates(), 1u);
+}
+
+TEST_F(SemanticsTest, MixedModesCompose) {
+  std::atomic<int> sum{0};
+  rt_.target("worker").name_as("a", [&] { sum.fetch_add(1); });
+  rt_.target("worker").name_as("b", [&] { sum.fetch_add(10); });
+  rt_.target("worker").name_as("a", [&] { sum.fetch_add(100); });
+  rt_.wait_tag("a");
+  const int after_a = sum.load();
+  EXPECT_EQ(after_a % 10, 1);
+  EXPECT_GE(after_a, 101);
+  rt_.wait_tag("b");
+  EXPECT_EQ(sum.load(), 111);
+}
+
+// --- macro spellings against the global runtime ---------------------------
+
+class MacroTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edt_.start();
+    rt().register_edt("edt", edt_);
+    rt().create_worker("worker", 2);
+  }
+  void TearDown() override {
+    rt().unregister("worker");
+    rt().unregister("edt");
+  }
+  event::EventLoop edt_{"edt"};
+};
+
+TEST_F(MacroTest, TargetMacroBlocks) {
+  int value = 0;
+  EVMP_TARGET("worker") { value = 5; };
+  EXPECT_EQ(value, 5);
+}
+
+TEST_F(MacroTest, NowaitAndAwaitMacros) {
+  std::atomic<int> steps{0};
+  auto handle = EVMP_TARGET_NOWAIT("worker") { steps.fetch_add(1); };
+  handle.wait();
+  EVMP_TARGET_AWAIT("worker") { steps.fetch_add(1); };
+  EXPECT_EQ(steps.load(), 2);
+}
+
+TEST_F(MacroTest, NameAsAndWaitMacros) {
+  std::atomic<int> done{0};
+  EVMP_TARGET_NAME_AS("worker", "dl") { done.fetch_add(1); };
+  EVMP_TARGET_NAME_AS("worker", "dl") { done.fetch_add(1); };
+  EVMP_WAIT("dl");
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST_F(MacroTest, FreeFunctionHelpers) {
+  std::atomic<bool> ran{false};
+  target("worker").run([&] { ran.store(true); });
+  EXPECT_TRUE(ran.load());
+  target("worker").name_as("t", [] {});
+  wait_tag("t");
+}
+
+}  // namespace
+}  // namespace evmp

@@ -1,0 +1,273 @@
+// Unit tests for the executor substrate: UniqueFunction, CompletionState /
+// TaskHandle, ThreadPoolExecutor, SerialExecutor, InlineExecutor and the
+// simulated accelerator device.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/sync.hpp"
+#include "executor/completion.hpp"
+#include "executor/executor.hpp"
+#include "executor/inline_executor.hpp"
+#include "executor/serial_executor.hpp"
+#include "executor/simulated_device.hpp"
+#include "executor/thread_pool_executor.hpp"
+#include "executor/unique_function.hpp"
+
+namespace evmp::exec {
+namespace {
+
+TEST(UniqueFunction, EmptyIsFalse) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesAndReturns) {
+  UniqueFunction<int(int)> f = [](int x) { return x * 2; };
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(9);
+  UniqueFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  UniqueFunction<int()> f = [] { return 1; };
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 1);
+}
+
+TEST(CompletionState, WaitAfterDoneReturnsImmediately) {
+  CompletionState s;
+  s.set_done();
+  s.wait();
+  EXPECT_TRUE(s.done());
+  EXPECT_FALSE(s.failed());
+}
+
+TEST(CompletionState, WaitForTimesOutWhenPending) {
+  CompletionState s;
+  EXPECT_FALSE(s.wait_for(std::chrono::milliseconds{2}));
+}
+
+TEST(CompletionState, ExceptionRethrownAtWait) {
+  CompletionState s;
+  s.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_TRUE(s.failed());
+  EXPECT_THROW(s.wait(), std::runtime_error);
+  // Every join observes the same exception.
+  EXPECT_THROW(s.rethrow_if_error(), std::runtime_error);
+}
+
+TEST(TaskHandle, EmptyHandleIsDone) {
+  TaskHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_TRUE(h.done());
+  h.wait();  // no-op
+  EXPECT_TRUE(h.wait_for(std::chrono::milliseconds{1}));
+}
+
+TEST(TaskHandle, CrossThreadWait) {
+  auto state = std::make_shared<CompletionState>();
+  TaskHandle h(state);
+  EXPECT_FALSE(h.done());
+  std::jthread t([state] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    state->set_done();
+  });
+  h.wait();
+  EXPECT_TRUE(h.done());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPoolExecutor pool("p", 3);
+  std::atomic<int> count{0};
+  common::CountdownLatch latch(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.post([&] {
+      count.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.concurrency(), 3u);
+}
+
+TEST(ThreadPool, TasksExecuteOnMemberThreads) {
+  ThreadPoolExecutor pool("p", 2);
+  std::atomic<bool> member{false};
+  common::CountdownLatch latch(1);
+  pool.post([&] {
+    member.store(pool.owns_current_thread());
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  EXPECT_TRUE(member.load());
+  EXPECT_FALSE(pool.owns_current_thread());  // the test thread is foreign
+}
+
+TEST(ThreadPool, CurrentExecutorIsSetInsideTasks) {
+  ThreadPoolExecutor pool("p", 1);
+  Executor* observed = nullptr;
+  common::CountdownLatch latch(1);
+  pool.post([&] {
+    observed = Executor::current();
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  EXPECT_EQ(observed, &pool);
+  EXPECT_EQ(Executor::current(), nullptr);
+}
+
+TEST(ThreadPool, TryRunOneExecutesOnCaller) {
+  ThreadPoolExecutor pool("p", 1);
+  // Occupy the single worker so the queue backs up.
+  common::ManualResetEvent release;
+  common::CountdownLatch started(1);
+  pool.post([&] {
+    started.count_down();
+    release.wait();
+  });
+  ASSERT_TRUE(started.wait_for(std::chrono::seconds{5}));
+  std::atomic<bool> ran_on_caller{false};
+  const auto caller_id = std::this_thread::get_id();
+  pool.post([&] { ran_on_caller.store(std::this_thread::get_id() == caller_id); });
+  EXPECT_TRUE(pool.try_run_one());  // steals the queued task
+  EXPECT_TRUE(ran_on_caller.load());
+  EXPECT_FALSE(pool.try_run_one());  // queue empty now
+  release.set();
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPoolExecutor pool("p", 2);
+    for (int i = 0; i < 50; ++i) {
+      pool.post([&] { count.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, PostAfterShutdownIsDropped) {
+  ThreadPoolExecutor pool("p", 1);
+  pool.shutdown();
+  std::atomic<bool> ran{false};
+  pool.post([&] { ran.store(true); });
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPoolExecutor pool("p", 0);
+  EXPECT_EQ(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, TasksExecutedCounter) {
+  ThreadPoolExecutor pool("p", 2);
+  common::CountdownLatch latch(10);
+  for (int i = 0; i < 10; ++i) {
+    pool.post([&] { latch.count_down(); });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_executed(), 10u);
+}
+
+TEST(UnhandledHook, ReceivesFireAndForgetExceptions) {
+  static std::atomic<int> hook_hits{0};
+  auto prev = unhandled_exception_hook();
+  set_unhandled_exception_hook(
+      [](std::string_view, std::exception_ptr) { hook_hits.fetch_add(1); });
+  {
+    ThreadPoolExecutor pool("p", 1);
+    pool.post([] { throw std::runtime_error("unhandled"); });
+    pool.shutdown();
+  }
+  set_unhandled_exception_hook(prev);
+  EXPECT_EQ(hook_hits.load(), 1);
+}
+
+TEST(SerialExecutor, StrictFifo) {
+  SerialExecutor ex("s");
+  std::vector<int> order;
+  common::CountdownLatch latch(20);
+  for (int i = 0; i < 20; ++i) {
+    ex.post([&, i] {
+      order.push_back(i);  // single thread: no race
+      latch.count_down();
+    });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SerialExecutor, SingleThreadServesEverything) {
+  SerialExecutor ex("s");
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  common::CountdownLatch latch(10);
+  for (int i = 0; i < 10; ++i) {
+    ex.post([&] {
+      {
+        std::scoped_lock lk(mu);
+        ids.insert(std::this_thread::get_id());
+      }
+      latch.count_down();
+    });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ex.concurrency(), 1u);
+}
+
+TEST(InlineExecutor, RunsSynchronously) {
+  InlineExecutor ex;
+  bool ran = false;
+  ex.post([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(ex.owns_current_thread());
+  EXPECT_FALSE(ex.try_run_one());
+  EXPECT_EQ(ex.pending(), 0u);
+}
+
+TEST(SimulatedDevice, CountsTransfersAndLaunches) {
+  SimulatedDeviceExecutor::Config cfg;
+  cfg.launch_latency = common::Micros{100};
+  cfg.bandwidth_bytes_per_sec = 1e9;
+  SimulatedDeviceExecutor dev("device:0", 0, cfg);
+  EXPECT_EQ(dev.device_id(), 0);
+  dev.transfer_to_device(1'000'000);
+  dev.transfer_from_device(500);
+  common::CountdownLatch latch(2);
+  dev.post([&] { latch.count_down(); });
+  dev.post([&] { latch.count_down(); });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  EXPECT_EQ(dev.bytes_to_device(), 1'000'000u);
+  EXPECT_EQ(dev.bytes_from_device(), 500u);
+  EXPECT_EQ(dev.kernels_launched(), 2u);
+}
+
+TEST(SimulatedDevice, TransferTakesModeledTime) {
+  SimulatedDeviceExecutor::Config cfg;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 10KB == 10ms
+  SimulatedDeviceExecutor dev("device:1", 1, cfg);
+  const common::Stopwatch sw;
+  dev.transfer_to_device(10'000);
+  EXPECT_GE(sw.elapsed_ms(), 8.0);
+}
+
+}  // namespace
+}  // namespace evmp::exec

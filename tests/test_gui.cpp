@@ -1,0 +1,127 @@
+// Unit tests for the simulated GUI toolkit and its EDT thread confinement.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "event/event_loop.hpp"
+#include "event/gui.hpp"
+
+namespace evmp::event {
+namespace {
+
+class GuiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { loop_.start(); }
+
+  EventLoop loop_{"edt"};
+};
+
+TEST_F(GuiTest, LabelUpdatesOnEdt) {
+  Gui gui(loop_);
+  auto& label = gui.add_label("status");
+  loop_.invoke_and_wait([&] { label.set_text("hello"); });
+  std::string text;
+  loop_.invoke_and_wait([&] { text = label.text(); });
+  EXPECT_EQ(text, "hello");
+  EXPECT_EQ(label.updates(), 1u);
+  EXPECT_EQ(gui.violations(), 0u);
+}
+
+TEST_F(GuiTest, OffEdtAccessThrowsUnderThrowPolicy) {
+  Gui gui(loop_, ConfinementPolicy::kThrow);
+  auto& label = gui.add_label("status");
+  EXPECT_THROW(label.set_text("bad"), ThreadConfinementError);
+  EXPECT_EQ(gui.violations(), 1u);
+}
+
+TEST_F(GuiTest, OffEdtAccessCountedUnderCountPolicy) {
+  Gui gui(loop_, ConfinementPolicy::kCount);
+  auto& bar = gui.add_progress_bar("p");
+  EXPECT_NO_THROW(bar.set_value(10));
+  EXPECT_NO_THROW(bar.set_value(20));
+  EXPECT_EQ(gui.violations(), 2u);
+}
+
+TEST_F(GuiTest, ProgressBarStoresValue) {
+  Gui gui(loop_);
+  auto& bar = gui.add_progress_bar("p");
+  loop_.invoke_and_wait([&] { bar.set_value(73); });
+  int value = 0;
+  loop_.invoke_and_wait([&] { value = bar.value(); });
+  EXPECT_EQ(value, 73);
+  EXPECT_EQ(bar.updates(), 1u);
+}
+
+TEST_F(GuiTest, ImageViewRecordsChecksum) {
+  Gui gui(loop_);
+  auto& view = gui.add_image_view("img");
+  Image img;
+  img.width = 2;
+  img.height = 1;
+  img.pixels = {0xff0000u, 0x00ff00u};
+  const auto expected = img.checksum();
+  loop_.invoke_and_wait([&] { view.display(img); });
+  std::uint64_t shown = 0;
+  loop_.invoke_and_wait([&] { shown = view.displayed_checksum(); });
+  EXPECT_EQ(shown, expected);
+  EXPECT_EQ(view.images_shown(), 1u);
+}
+
+TEST_F(GuiTest, ImageChecksumDependsOnContent) {
+  Image a{1, 1, {1u}};
+  Image b{1, 1, {2u}};
+  Image c{1, 1, {1u}};
+  EXPECT_NE(a.checksum(), b.checksum());
+  EXPECT_EQ(a.checksum(), c.checksum());
+}
+
+TEST_F(GuiTest, ButtonClickRunsHandlerOnEdt) {
+  Gui gui(loop_);
+  auto& button = gui.add_button("go");
+  std::atomic<bool> handled_on_edt{false};
+  loop_.invoke_and_wait([&] {
+    button.on_click([&] { handled_on_edt.store(loop_.is_dispatch_thread()); });
+  });
+  button.click();  // clicks may come from any thread
+  loop_.wait_until_idle();
+  EXPECT_TRUE(handled_on_edt.load());
+  EXPECT_EQ(button.clicks(), 1u);
+}
+
+TEST_F(GuiTest, ButtonWithoutHandlerIsSafe) {
+  Gui gui(loop_);
+  auto& button = gui.add_button("noop");
+  button.click();
+  loop_.wait_until_idle();
+  EXPECT_EQ(button.clicks(), 1u);
+}
+
+TEST_F(GuiTest, ClickFromEdtAlsoQueues) {
+  Gui gui(loop_);
+  auto& button = gui.add_button("go");
+  std::atomic<int> runs{0};
+  loop_.invoke_and_wait([&] {
+    button.on_click([&] { runs.fetch_add(1); });
+    button.click();  // enqueued, runs after this handler returns
+    EXPECT_EQ(runs.load(), 0);
+  });
+  loop_.wait_until_idle();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST_F(GuiTest, ViolationMessageNamesWidgetAndOperation) {
+  Gui gui(loop_, ConfinementPolicy::kThrow);
+  auto& label = gui.add_label("title");
+  try {
+    label.set_text("x");
+    FAIL() << "expected ThreadConfinementError";
+  } catch (const ThreadConfinementError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("title"), std::string::npos);
+    EXPECT_NE(what.find("set_text"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace evmp::event

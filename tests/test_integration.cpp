@@ -1,0 +1,203 @@
+// Integration tests spanning the whole stack: the Figure 6 GUI scenario
+// with real kernels, mixed-mode stress under load with a responsiveness
+// probe, and execution of evmpcc-generated code (translated at build time
+// from tests/fixtures/pipeline_annotated.cpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "baselines/approaches.hpp"
+#include "common/sync.hpp"
+#include "core/evmp.hpp"
+#include "event/load.hpp"
+#include "kernels/kernel_pool.hpp"
+
+namespace evmp_fixture {
+// Compiled from evmpcc output (see tests/CMakeLists.txt).
+std::vector<std::string> run_pipeline(evmp::Runtime& rt, bool offload);
+double run_traditional(int n);
+}  // namespace evmp_fixture
+
+namespace evmp {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edt_.start();
+    rt_.register_edt("edt", edt_);
+    rt_.create_worker("worker", 3);
+    rt_.create_worker("io", 2);
+  }
+  void TearDown() override { rt_.clear(); }
+
+  Runtime rt_;
+  event::EventLoop edt_{"edt"};
+};
+
+TEST_F(IntegrationTest, Figure6ImageAppEndToEnd) {
+  event::Gui gui(edt_, event::ConfinementPolicy::kCount);
+  auto& msg = gui.add_label("msg");
+  auto& view = gui.add_image_view("img");
+  auto& button = gui.add_button("go");
+
+  common::CountdownLatch finished(1);
+  std::atomic<std::uint64_t> expected_checksum{0};
+
+  edt_.invoke_and_wait([&] {
+    button.on_click([&] {
+      msg.set_text("Started EDT handling");
+      const int hscode = 1234;
+      // //#omp target virtual(worker) nowait
+      rt_.target("worker").nowait([&, hscode] {
+        // downloadAndCompute: synthesise an image from the "download".
+        event::Image img;
+        img.width = 16;
+        img.height = 16;
+        img.pixels.resize(16 * 16);
+        common::Xoshiro256 rng(static_cast<std::uint64_t>(hscode));
+        for (auto& p : img.pixels) {
+          p = static_cast<std::uint32_t>(rng.next());
+        }
+        expected_checksum.store(img.checksum());
+        // //#omp target virtual(edt)   (display, then finish message)
+        rt_.target("edt").run([&] { view.display(img); });
+        rt_.target("edt").nowait([&] {
+          msg.set_text("Finished!");
+          finished.count_down();
+        });
+      });
+    });
+  });
+
+  button.click();
+  ASSERT_TRUE(finished.wait_for(std::chrono::seconds{30}));
+  edt_.wait_until_idle();
+
+  EXPECT_EQ(gui.violations(), 0u);
+  std::uint64_t shown = 0;
+  std::string final_msg;
+  edt_.invoke_and_wait([&] {
+    shown = view.displayed_checksum();
+    final_msg = msg.text();
+  });
+  EXPECT_EQ(shown, expected_checksum.load());
+  EXPECT_EQ(final_msg, "Finished!");
+}
+
+TEST_F(IntegrationTest, MixedModeStressKeepsEdtResponsive) {
+  kernels::KernelPool pool("montecarlo", kernels::SizeClass::kTiny);
+  event::ResponseProbe probe(edt_, common::Millis{2});
+  probe.start();
+
+  event::OpenLoopDriver::Options opt;
+  opt.count = 40;
+  opt.rate_hz = 400.0;
+  const auto result = event::OpenLoopDriver::run(
+      edt_, opt, [&](std::size_t i, const event::CompletionToken& token) {
+        auto k = pool.acquire();
+        switch (i % 3) {
+          case 0:
+            rt_.target("worker").nowait([k, token] {
+              k->run_sequential();
+              token.complete();
+            });
+            break;
+          case 1: {
+            rt_.target("worker").name_as("stress", [k] {
+              k->run_sequential();
+            });
+            // Completion rides on a second tagged block.
+            rt_.target("worker").name_as("stress", [token] {
+              token.complete();
+            });
+            break;
+          }
+          default:
+            rt_.target("worker").await([k] { k->run_sequential(); });
+            token.complete();
+            break;
+        }
+      });
+  rt_.wait_tag("stress");
+  probe.stop();
+  edt_.wait_until_idle();
+
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(result.completed, 40u);
+  // The EDT stayed responsive: median probe latency well under the
+  // per-event kernel time.
+  EXPECT_LT(probe.latencies().percentile(0.5), 20'000'000u);  // < 20ms
+}
+
+TEST_F(IntegrationTest, TranslatedPipelineRunsCorrectly) {
+  const auto log = evmp_fixture::run_pipeline(rt_, /*offload=*/true);
+  edt_.wait_until_idle();
+  ASSERT_GE(log.size(), 5u);
+  EXPECT_EQ(log.front(), "start");
+  // Both tagged batches ran before S3's sum check.
+  EXPECT_NE(std::find(log.begin(), log.end(), "batch-a"), log.end());
+  EXPECT_NE(std::find(log.begin(), log.end(), "batch-b"), log.end());
+  EXPECT_NE(std::find(log.begin(), log.end(), "sum-ok"), log.end());
+  EXPECT_NE(std::find(log.begin(), log.end(), "double-ok"), log.end());
+  EXPECT_EQ(std::find(log.begin(), log.end(), "sum-bad"), log.end());
+}
+
+TEST_F(IntegrationTest, TranslatedPipelineIfClauseFalseIsSequential) {
+  // offload=false: the if-clause forces inline execution; results identical.
+  const auto log = evmp_fixture::run_pipeline(rt_, /*offload=*/false);
+  edt_.wait_until_idle();
+  EXPECT_NE(std::find(log.begin(), log.end(), "sum-ok"), log.end());
+  EXPECT_NE(std::find(log.begin(), log.end(), "double-ok"), log.end());
+}
+
+TEST(TranslatedTraditional, ParallelForWithReductionsComputesExactly) {
+  // run_traditional is evmpcc output for `#pragma omp parallel for` with
+  // schedule/num_threads/firstprivate and +/max reductions, plus a
+  // `#pragma omp parallel` region. data[i] == i, so:
+  //   sum = n(n-1)/2, largest = n-1, hits = #(v>1) = n-2, members = 4.
+  const int n = 100;
+  const double expected = 4950.0 + 99.0 + 98.0 + 4000.0;
+  EXPECT_DOUBLE_EQ(evmp_fixture::run_traditional(n), expected);
+}
+
+TEST(TranslatedTraditional, StableAcrossRepeats) {
+  const double first = evmp_fixture::run_traditional(64);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(evmp_fixture::run_traditional(64), first);
+  }
+}
+
+TEST_F(IntegrationTest, ManyConcurrentAwaitsOnWorkers) {
+  // Awaiting blocks issued from pool threads must help each other along
+  // rather than deadlocking the pool (logical barrier on workers).
+  std::atomic<int> completed{0};
+  common::CountdownLatch done(8);
+  for (int i = 0; i < 8; ++i) {
+    rt_.target("worker").nowait([&] {
+      rt_.target("io").await(
+          [] { common::precise_sleep(common::Millis{5}); });
+      completed.fetch_add(1);
+      done.count_down();
+    });
+  }
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds{30}));
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST_F(IntegrationTest, RuntimeSurvivesTargetChurn) {
+  for (int round = 0; round < 10; ++round) {
+    const std::string name = "ephemeral" + std::to_string(round);
+    rt_.create_worker(name, 1);
+    std::atomic<bool> ran{false};
+    rt_.target(name).run([&] { ran.store(true); });
+    EXPECT_TRUE(ran.load());
+    rt_.unregister(name);
+    EXPECT_FALSE(rt_.has_target(name));
+  }
+}
+
+}  // namespace
+}  // namespace evmp

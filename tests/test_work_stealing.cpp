@@ -1,0 +1,158 @@
+// Tests for the work-stealing executor and its use as a virtual target.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/sync.hpp"
+#include "core/runtime.hpp"
+#include "core/target.hpp"
+#include "executor/work_stealing_executor.hpp"
+
+namespace evmp::exec {
+namespace {
+
+TEST(WorkStealing, RunsAllTasks) {
+  WorkStealingExecutor pool("ws", 3);
+  std::atomic<int> count{0};
+  common::CountdownLatch latch(200);
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&] {
+      count.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(pool.concurrency(), 3u);
+}
+
+TEST(WorkStealing, MemberThreadsAreOwned) {
+  WorkStealingExecutor pool("ws", 2);
+  std::atomic<bool> member{false};
+  common::CountdownLatch latch(1);
+  pool.post([&] {
+    member.store(pool.owns_current_thread());
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  EXPECT_TRUE(member.load());
+  EXPECT_FALSE(pool.owns_current_thread());
+}
+
+TEST(WorkStealing, RecursiveSpawnDoesNotDeadlock) {
+  // Tasks that spawn subtasks and wait for them via try_run_one (helping):
+  // the pattern nested target blocks produce.
+  WorkStealingExecutor pool("ws", 2);
+  std::atomic<int> leaves{0};
+  common::CountdownLatch latch(4);
+  for (int i = 0; i < 4; ++i) {
+    pool.post([&] {
+      auto state = std::make_shared<CompletionState>();
+      pool.post([&, state] {
+        leaves.fetch_add(1);
+        state->set_done();
+      });
+      while (!state->done()) {
+        if (!pool.try_run_one()) std::this_thread::yield();
+      }
+      latch.count_down();
+    });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(leaves.load(), 4);
+}
+
+TEST(WorkStealing, StealsWhenOneWorkerIsBusy) {
+  WorkStealingExecutor pool("ws", 2);
+  common::ManualResetEvent release;
+  common::CountdownLatch started(1);
+  common::CountdownLatch spawned_done(8);
+  // Occupy one worker, then have it self-post (LIFO-local) tasks the other
+  // worker must steal.
+  pool.post([&] {
+    started.count_down();
+    for (int i = 0; i < 8; ++i) {
+      pool.post([&] { spawned_done.count_down(); });
+    }
+    release.wait();
+  });
+  ASSERT_TRUE(started.wait_for(std::chrono::seconds{5}));
+  ASSERT_TRUE(spawned_done.wait_for(std::chrono::seconds{10}));
+  EXPECT_GE(pool.steals(), 1u);
+  release.set();
+}
+
+TEST(WorkStealing, ForeignTryRunOneHelps) {
+  WorkStealingExecutor pool("ws", 1);
+  common::ManualResetEvent release;
+  common::CountdownLatch started(1);
+  pool.post([&] {
+    started.count_down();
+    release.wait();
+  });
+  ASSERT_TRUE(started.wait_for(std::chrono::seconds{5}));
+  std::atomic<bool> ran{false};
+  pool.post([&] { ran.store(true); });
+  EXPECT_TRUE(pool.try_run_one());  // foreign thread steals the queued task
+  EXPECT_TRUE(ran.load());
+  release.set();
+}
+
+TEST(WorkStealing, ShutdownDrainsAllQueues) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingExecutor pool("ws", 3);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&] { count.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkStealing, PostAfterShutdownIsDropped) {
+  WorkStealingExecutor pool("ws", 1);
+  pool.shutdown();
+  std::atomic<bool> ran{false};
+  pool.post([&] { ran.store(true); });
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(WorkStealing, WorksAsVirtualTarget) {
+  Runtime rt;
+  auto& pool = rt.create_stealing_worker("ws-worker", 2);
+  std::atomic<bool> on_pool{false};
+  rt.target("ws-worker").run([&] { on_pool.store(pool.owns_current_thread()); });
+  EXPECT_TRUE(on_pool.load());
+
+  // await on a member thread uses stealing to make progress.
+  std::atomic<int> done{0};
+  common::CountdownLatch latch(1);
+  rt.target("ws-worker").nowait([&] {
+    rt.target("ws-worker").await([&] { done.fetch_add(1); });
+    done.fetch_add(1);
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(done.load(), 2);
+  rt.clear();
+}
+
+TEST(WorkStealing, CountersAccount) {
+  WorkStealingExecutor pool("ws", 2);
+  common::CountdownLatch latch(50);
+  for (int i = 0; i < 50; ++i) {
+    pool.post([&] { latch.count_down(); });
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_executed(), 50u);
+  EXPECT_EQ(pool.local_pops() + pool.steals(), 50u);
+}
+
+}  // namespace
+}  // namespace evmp::exec

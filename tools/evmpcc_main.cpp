@@ -1,0 +1,80 @@
+// evmpcc — the EventMP source-to-source translator CLI.
+//
+// Usage:
+//   evmpcc <input.cpp> [-o <output.cpp>] [--no-include] [--runtime <expr>]
+//
+// Reads a C++ source annotated with the paper's extended target directives
+// (`//#omp target virtual(...) ...` or `#pragma omp target virtual(...)`)
+// and emits the transformed source that calls the EventMP runtime — the
+// same job the Pyjama compiler performs for Java (paper §IV.A).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "compilerlib/translator.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <input.cpp> [-o <output.cpp>] [--no-include] [--runtime "
+               "<expr>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  evmp::compiler::TranslateOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--no-include") {
+      options.add_include = false;
+    } else if (arg == "--runtime" && i + 1 < argc) {
+      options.runtime_expr = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "evmpcc: cannot open " << input << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const auto result =
+        evmp::compiler::translate_source(buffer.str(), options);
+    if (output.empty()) {
+      std::cout << result.output;
+    } else {
+      std::ofstream out(output);
+      if (!out) {
+        std::cerr << "evmpcc: cannot write " << output << "\n";
+        return 1;
+      }
+      out << result.output;
+    }
+    std::cerr << "evmpcc: rewrote " << result.directives_rewritten
+              << " directive(s)\n";
+  } catch (const evmp::compiler::TranslateError& e) {
+    std::cerr << "evmpcc: " << input << ":" << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
