@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_await.dir/bench_ablation_await.cpp.o"
+  "CMakeFiles/bench_ablation_await.dir/bench_ablation_await.cpp.o.d"
+  "bench_ablation_await"
+  "bench_ablation_await.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_await.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

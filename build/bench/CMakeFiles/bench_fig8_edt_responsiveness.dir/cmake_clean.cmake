@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_edt_responsiveness.dir/bench_fig8_edt_responsiveness.cpp.o"
+  "CMakeFiles/bench_fig8_edt_responsiveness.dir/bench_fig8_edt_responsiveness.cpp.o.d"
+  "bench_fig8_edt_responsiveness"
+  "bench_fig8_edt_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_edt_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_benchlib.dir/gui_bench.cpp.o"
+  "CMakeFiles/evmp_benchlib.dir/gui_bench.cpp.o.d"
+  "libevmp_benchlib.a"
+  "libevmp_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_dashboard.dir/dashboard_translated.cpp.o"
+  "CMakeFiles/annotated_dashboard.dir/dashboard_translated.cpp.o.d"
+  "annotated_dashboard"
+  "annotated_dashboard.pdb"
+  "dashboard_translated.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_download.dir/async_download.cpp.o"
+  "CMakeFiles/async_download.dir/async_download.cpp.o.d"
+  "async_download"
+  "async_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_encrypt_service.dir/http_encrypt_service.cpp.o"
+  "CMakeFiles/http_encrypt_service.dir/http_encrypt_service.cpp.o.d"
+  "http_encrypt_service"
+  "http_encrypt_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_encrypt_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_demo.dir/translator_demo.cpp.o"
+  "CMakeFiles/translator_demo.dir/translator_demo.cpp.o.d"
+  "translator_demo"
+  "translator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_asyncio.dir/async_io.cpp.o"
+  "CMakeFiles/evmp_asyncio.dir/async_io.cpp.o.d"
+  "libevmp_asyncio.a"
+  "libevmp_asyncio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_asyncio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for evmp_asyncio.
+# This may be replaced when dependencies are built.

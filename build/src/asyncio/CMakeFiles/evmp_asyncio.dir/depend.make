@@ -1,0 +1,2 @@
+# Empty dependencies file for evmp_asyncio.
+# This may be replaced when dependencies are built.

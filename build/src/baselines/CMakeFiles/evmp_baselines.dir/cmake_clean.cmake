@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_baselines.dir/approaches.cpp.o"
+  "CMakeFiles/evmp_baselines.dir/approaches.cpp.o.d"
+  "CMakeFiles/evmp_baselines.dir/swing_worker.cpp.o"
+  "CMakeFiles/evmp_baselines.dir/swing_worker.cpp.o.d"
+  "CMakeFiles/evmp_baselines.dir/thread_per_request.cpp.o"
+  "CMakeFiles/evmp_baselines.dir/thread_per_request.cpp.o.d"
+  "libevmp_baselines.a"
+  "libevmp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

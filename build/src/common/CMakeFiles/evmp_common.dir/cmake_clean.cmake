@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_common.dir/cli.cpp.o"
+  "CMakeFiles/evmp_common.dir/cli.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/clock.cpp.o"
+  "CMakeFiles/evmp_common.dir/clock.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/env.cpp.o"
+  "CMakeFiles/evmp_common.dir/env.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/logging.cpp.o"
+  "CMakeFiles/evmp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/rng.cpp.o"
+  "CMakeFiles/evmp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/stats.cpp.o"
+  "CMakeFiles/evmp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/table.cpp.o"
+  "CMakeFiles/evmp_common.dir/table.cpp.o.d"
+  "CMakeFiles/evmp_common.dir/tracing.cpp.o"
+  "CMakeFiles/evmp_common.dir/tracing.cpp.o.d"
+  "libevmp_common.a"
+  "libevmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

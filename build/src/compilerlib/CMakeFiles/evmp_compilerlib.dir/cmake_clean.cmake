@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_compilerlib.dir/directive_parser.cpp.o"
+  "CMakeFiles/evmp_compilerlib.dir/directive_parser.cpp.o.d"
+  "CMakeFiles/evmp_compilerlib.dir/source_scanner.cpp.o"
+  "CMakeFiles/evmp_compilerlib.dir/source_scanner.cpp.o.d"
+  "CMakeFiles/evmp_compilerlib.dir/translator.cpp.o"
+  "CMakeFiles/evmp_compilerlib.dir/translator.cpp.o.d"
+  "libevmp_compilerlib.a"
+  "libevmp_compilerlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_compilerlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_core.dir/runtime.cpp.o"
+  "CMakeFiles/evmp_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/evmp_core.dir/tag_group.cpp.o"
+  "CMakeFiles/evmp_core.dir/tag_group.cpp.o.d"
+  "libevmp_core.a"
+  "libevmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

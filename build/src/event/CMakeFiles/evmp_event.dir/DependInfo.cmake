@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event_loop.cpp" "src/event/CMakeFiles/evmp_event.dir/event_loop.cpp.o" "gcc" "src/event/CMakeFiles/evmp_event.dir/event_loop.cpp.o.d"
+  "/root/repo/src/event/gui.cpp" "src/event/CMakeFiles/evmp_event.dir/gui.cpp.o" "gcc" "src/event/CMakeFiles/evmp_event.dir/gui.cpp.o.d"
+  "/root/repo/src/event/load.cpp" "src/event/CMakeFiles/evmp_event.dir/load.cpp.o" "gcc" "src/event/CMakeFiles/evmp_event.dir/load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/evmp_executor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

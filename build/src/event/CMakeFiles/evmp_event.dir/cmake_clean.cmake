@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_event.dir/event_loop.cpp.o"
+  "CMakeFiles/evmp_event.dir/event_loop.cpp.o.d"
+  "CMakeFiles/evmp_event.dir/gui.cpp.o"
+  "CMakeFiles/evmp_event.dir/gui.cpp.o.d"
+  "CMakeFiles/evmp_event.dir/load.cpp.o"
+  "CMakeFiles/evmp_event.dir/load.cpp.o.d"
+  "libevmp_event.a"
+  "libevmp_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/executor/executor.cpp" "src/executor/CMakeFiles/evmp_executor.dir/executor.cpp.o" "gcc" "src/executor/CMakeFiles/evmp_executor.dir/executor.cpp.o.d"
+  "/root/repo/src/executor/serial_executor.cpp" "src/executor/CMakeFiles/evmp_executor.dir/serial_executor.cpp.o" "gcc" "src/executor/CMakeFiles/evmp_executor.dir/serial_executor.cpp.o.d"
+  "/root/repo/src/executor/simulated_device.cpp" "src/executor/CMakeFiles/evmp_executor.dir/simulated_device.cpp.o" "gcc" "src/executor/CMakeFiles/evmp_executor.dir/simulated_device.cpp.o.d"
+  "/root/repo/src/executor/thread_pool_executor.cpp" "src/executor/CMakeFiles/evmp_executor.dir/thread_pool_executor.cpp.o" "gcc" "src/executor/CMakeFiles/evmp_executor.dir/thread_pool_executor.cpp.o.d"
+  "/root/repo/src/executor/work_stealing_executor.cpp" "src/executor/CMakeFiles/evmp_executor.dir/work_stealing_executor.cpp.o" "gcc" "src/executor/CMakeFiles/evmp_executor.dir/work_stealing_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

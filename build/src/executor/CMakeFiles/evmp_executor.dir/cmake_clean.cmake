@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_executor.dir/executor.cpp.o"
+  "CMakeFiles/evmp_executor.dir/executor.cpp.o.d"
+  "CMakeFiles/evmp_executor.dir/serial_executor.cpp.o"
+  "CMakeFiles/evmp_executor.dir/serial_executor.cpp.o.d"
+  "CMakeFiles/evmp_executor.dir/simulated_device.cpp.o"
+  "CMakeFiles/evmp_executor.dir/simulated_device.cpp.o.d"
+  "CMakeFiles/evmp_executor.dir/thread_pool_executor.cpp.o"
+  "CMakeFiles/evmp_executor.dir/thread_pool_executor.cpp.o.d"
+  "CMakeFiles/evmp_executor.dir/work_stealing_executor.cpp.o"
+  "CMakeFiles/evmp_executor.dir/work_stealing_executor.cpp.o.d"
+  "libevmp_executor.a"
+  "libevmp_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_forkjoin.dir/default_team.cpp.o"
+  "CMakeFiles/evmp_forkjoin.dir/default_team.cpp.o.d"
+  "CMakeFiles/evmp_forkjoin.dir/team.cpp.o"
+  "CMakeFiles/evmp_forkjoin.dir/team.cpp.o.d"
+  "libevmp_forkjoin.a"
+  "libevmp_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

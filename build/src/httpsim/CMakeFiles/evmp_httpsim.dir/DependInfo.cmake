@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/httpsim/connector.cpp" "src/httpsim/CMakeFiles/evmp_httpsim.dir/connector.cpp.o" "gcc" "src/httpsim/CMakeFiles/evmp_httpsim.dir/connector.cpp.o.d"
+  "/root/repo/src/httpsim/encryption_service.cpp" "src/httpsim/CMakeFiles/evmp_httpsim.dir/encryption_service.cpp.o" "gcc" "src/httpsim/CMakeFiles/evmp_httpsim.dir/encryption_service.cpp.o.d"
+  "/root/repo/src/httpsim/virtual_users.cpp" "src/httpsim/CMakeFiles/evmp_httpsim.dir/virtual_users.cpp.o" "gcc" "src/httpsim/CMakeFiles/evmp_httpsim.dir/virtual_users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/evmp_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/evmp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/evmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/evmp_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/evmp_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_httpsim.dir/connector.cpp.o"
+  "CMakeFiles/evmp_httpsim.dir/connector.cpp.o.d"
+  "CMakeFiles/evmp_httpsim.dir/encryption_service.cpp.o"
+  "CMakeFiles/evmp_httpsim.dir/encryption_service.cpp.o.d"
+  "CMakeFiles/evmp_httpsim.dir/virtual_users.cpp.o"
+  "CMakeFiles/evmp_httpsim.dir/virtual_users.cpp.o.d"
+  "libevmp_httpsim.a"
+  "libevmp_httpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_httpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

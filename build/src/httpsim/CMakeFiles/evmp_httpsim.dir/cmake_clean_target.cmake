@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevmp_httpsim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/crypt.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/crypt.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/crypt.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/kernel_pool.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/kernel_pool.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/kernel_pool.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/montecarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/kernels/raytracer.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/raytracer.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/raytracer.cpp.o.d"
+  "/root/repo/src/kernels/series.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/series.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/series.cpp.o.d"
+  "/root/repo/src/kernels/sor.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/sor.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/sor.cpp.o.d"
+  "/root/repo/src/kernels/sparsematmult.cpp" "src/kernels/CMakeFiles/evmp_kernels.dir/sparsematmult.cpp.o" "gcc" "src/kernels/CMakeFiles/evmp_kernels.dir/sparsematmult.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/evmp_forkjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmp_kernels.dir/crypt.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/crypt.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/kernel_pool.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/kernel_pool.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/montecarlo.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/raytracer.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/raytracer.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/series.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/series.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/sor.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/sor.cpp.o.d"
+  "CMakeFiles/evmp_kernels.dir/sparsematmult.cpp.o"
+  "CMakeFiles/evmp_kernels.dir/sparsematmult.cpp.o.d"
+  "libevmp_kernels.a"
+  "libevmp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asyncio.dir/test_asyncio.cpp.o"
+  "CMakeFiles/test_asyncio.dir/test_asyncio.cpp.o.d"
+  "test_asyncio"
+  "test_asyncio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asyncio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

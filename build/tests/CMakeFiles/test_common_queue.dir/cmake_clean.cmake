@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_queue.dir/test_common_queue.cpp.o"
+  "CMakeFiles/test_common_queue.dir/test_common_queue.cpp.o.d"
+  "test_common_queue"
+  "test_common_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

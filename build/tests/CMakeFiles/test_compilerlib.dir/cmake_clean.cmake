@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compilerlib.dir/test_compilerlib.cpp.o"
+  "CMakeFiles/test_compilerlib.dir/test_compilerlib.cpp.o.d"
+  "test_compilerlib"
+  "test_compilerlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compilerlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_semantics.dir/test_core_semantics.cpp.o"
+  "CMakeFiles/test_core_semantics.dir/test_core_semantics.cpp.o.d"
+  "test_core_semantics"
+  "test_core_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gui.dir/test_gui.cpp.o"
+  "CMakeFiles/test_gui.dir/test_gui.cpp.o.d"
+  "test_gui"
+  "test_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

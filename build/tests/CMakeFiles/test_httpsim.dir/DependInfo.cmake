@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_httpsim.cpp" "tests/CMakeFiles/test_httpsim.dir/test_httpsim.cpp.o" "gcc" "tests/CMakeFiles/test_httpsim.dir/test_httpsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/evmp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/evmp_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/evmp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilerlib/CMakeFiles/evmp_compilerlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/evmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/evmp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/evmp_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncio/CMakeFiles/evmp_asyncio.dir/DependInfo.cmake"
+  "/root/repo/build/src/executor/CMakeFiles/evmp_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

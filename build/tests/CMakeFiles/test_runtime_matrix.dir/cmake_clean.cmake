@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_matrix.dir/test_runtime_matrix.cpp.o"
+  "CMakeFiles/test_runtime_matrix.dir/test_runtime_matrix.cpp.o.d"
+  "test_runtime_matrix"
+  "test_runtime_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

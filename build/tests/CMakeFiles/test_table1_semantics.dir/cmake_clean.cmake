@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_semantics.dir/test_table1_semantics.cpp.o"
+  "CMakeFiles/test_table1_semantics.dir/test_table1_semantics.cpp.o.d"
+  "test_table1_semantics"
+  "test_table1_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

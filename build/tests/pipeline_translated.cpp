@@ -1,0 +1,130 @@
+// evmpcc INPUT FIXTURE — this file is not compiled directly. The build
+// translates it with the freshly built evmpcc (runtime expression "rt",
+// see tests/CMakeLists.txt) and compiles the OUTPUT into test_integration,
+// proving end-to-end that generated code is valid, correct C++.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/evmp.hpp"
+
+namespace evmp_fixture {
+
+// The paper's §IV.A compilation example, extended with name_as/wait and an
+// if-clause. Requires targets "worker" and "io" plus an "edt" loop.
+std::vector<std::string> run_pipeline(evmp::Runtime& rt, bool offload) {
+  std::vector<std::string> log;
+  std::mutex mu;
+  auto add = [&](const std::string& s) {
+    std::scoped_lock lk(mu);
+    log.push_back(s);
+  };
+  int value = 0;
+
+  add("start");
+  { /* evmpcc line 26 */
+  auto __evmp_region_0 = [&]() {
+    value += 1;  // S1
+    { /* evmpcc line 29 */
+  auto __evmp_region_1 = [&]() { add("batch-a"); };
+  rt.invoke_target_block("io", std::move(__evmp_region_1), ::evmp::Async::kNameAs, "batch");
+}
+    { /* evmpcc line 31 */
+  auto __evmp_region_2 = [&]() { add("batch-b"); };
+  rt.invoke_target_block("io", std::move(__evmp_region_2), ::evmp::Async::kNameAs, "batch");
+}
+    rt.wait_tag("batch");
+    value += 10;  // S3
+    { /* evmpcc line 35 */
+  auto __evmp_region_3 = [&, value]() { add("progress " + std::to_string(value)); };
+  rt.invoke_target_block("edt", std::move(__evmp_region_3), ::evmp::Async::kNowait);
+}
+  };
+  if (offload) { rt.invoke_target_block("worker", std::move(__evmp_region_0), ::evmp::Async::kAwait); } else { __evmp_region_0(); }
+}
+  add(value == 11 ? "sum-ok" : "sum-bad");
+
+  int doubled = 0;
+  { /* evmpcc line 41 */
+  auto __evmp_region_4 = [&]() { doubled = value * 2; };
+  rt.invoke_target_block("worker", std::move(__evmp_region_4), ::evmp::Async::kAwait);
+}
+
+  add(doubled == 22 ? "double-ok" : "double-bad");
+  return log;
+}
+
+// Traditional OpenMP directives (the fork-join model the event extension
+// coexists with), also rewritten by evmpcc: worksharing with reductions.
+double run_traditional(int n) {
+  std::vector<double> data(static_cast<std::size_t>(n));
+  { /* evmpcc line 52: parallel for */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wshadow"
+  const long __evmp_lo_5 = static_cast<long>(0);
+  const long __evmp_hi_5 = static_cast<long>(n);
+  auto __evmp_fp_n_5 = n;
+  auto __evmp_loop_5 = [&](long __evmp_i_5) {
+    int i = static_cast<int>(__evmp_i_5);
+    std::decay_t<decltype(__evmp_fp_n_5)> n = __evmp_fp_n_5;
+    {
+    data[static_cast<std::size_t>(i)] = static_cast<double>(i % (n + 1));
+  }
+  };
+  ::evmp::fj::default_parallel_for(__evmp_lo_5, __evmp_hi_5, __evmp_loop_5, ::evmp::fj::Schedule::kStatic, 0);
+#pragma GCC diagnostic pop
+}
+
+  double sum = 0.0;
+  double largest = -1.0;
+  long hits = 0;
+  { /* evmpcc line 60: parallel for */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wshadow"
+  const long __evmp_lo_6 = static_cast<long>(0);
+  const long __evmp_hi_6 = static_cast<long>(n);
+  std::vector<::evmp::fj::detail::Padded<std::decay_t<decltype(sum)>>> __evmp_red_sum_6(static_cast<std::size_t>(static_cast<int>(3)), ::evmp::fj::detail::Padded<std::decay_t<decltype(sum)>>{::evmp::fj::detail::ident_plus<std::decay_t<decltype(sum)>>()});
+  std::vector<::evmp::fj::detail::Padded<std::decay_t<decltype(largest)>>> __evmp_red_largest_6(static_cast<std::size_t>(static_cast<int>(3)), ::evmp::fj::detail::Padded<std::decay_t<decltype(largest)>>{::evmp::fj::detail::ident_max<std::decay_t<decltype(largest)>>()});
+  std::vector<::evmp::fj::detail::Padded<std::decay_t<decltype(hits)>>> __evmp_red_hits_6(static_cast<std::size_t>(static_cast<int>(3)), ::evmp::fj::detail::Padded<std::decay_t<decltype(hits)>>{::evmp::fj::detail::ident_plus<std::decay_t<decltype(hits)>>()});
+  auto __evmp_ranges_6 = [&](int __evmp_tid_6, long __evmp_rlo_6, long __evmp_rhi_6) {
+    auto& sum = __evmp_red_sum_6[static_cast<std::size_t>(__evmp_tid_6)].value;
+    auto& largest = __evmp_red_largest_6[static_cast<std::size_t>(__evmp_tid_6)].value;
+    auto& hits = __evmp_red_hits_6[static_cast<std::size_t>(__evmp_tid_6)].value;
+    for (long __evmp_i_6 = __evmp_rlo_6; __evmp_i_6 < __evmp_rhi_6; ++__evmp_i_6) {
+    int i = static_cast<int>(__evmp_i_6);
+    {
+    const double v = data[static_cast<std::size_t>(i)];
+    sum += v;
+    if (v > largest) largest = v;
+    if (v > 1.0) ++hits;
+  }
+    }
+  };
+  { ::evmp::fj::Team __evmp_team_6(static_cast<int>(3)); ::evmp::fj::parallel_ranges(__evmp_team_6, __evmp_lo_6, __evmp_hi_6, __evmp_ranges_6, ::evmp::fj::Schedule::kDynamic, static_cast<long>(8)); }
+  for (const auto& __evmp_p_6 : __evmp_red_sum_6) { sum = sum + __evmp_p_6.value; }
+  for (const auto& __evmp_p_6 : __evmp_red_largest_6) { largest = (largest < __evmp_p_6.value) ? __evmp_p_6.value : largest; }
+  for (const auto& __evmp_p_6 : __evmp_red_hits_6) { hits = hits + __evmp_p_6.value; }
+#pragma GCC diagnostic pop
+}
+
+  int members = 0;
+  std::mutex members_mu;
+  { /* evmpcc line 71: parallel */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wshadow"
+  auto __evmp_region_7 = [&](int, int) {
+    {
+    std::scoped_lock lk(members_mu);
+    ++members;
+  }
+  };
+  { ::evmp::fj::Team __evmp_team_7(static_cast<int>(4)); __evmp_team_7.parallel(__evmp_region_7); }
+#pragma GCC diagnostic pop
+}
+
+  return sum + largest + static_cast<double>(hits) +
+         1000.0 * static_cast<double>(members);
+}
+
+}  // namespace evmp_fixture

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmpcc.dir/evmpcc_main.cpp.o"
+  "CMakeFiles/evmpcc.dir/evmpcc_main.cpp.o.d"
+  "evmpcc"
+  "evmpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
