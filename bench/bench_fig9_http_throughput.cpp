@@ -13,13 +13,15 @@
 //
 // Flags: --threads=1,2,4,8,16,32 --users=50 --requests=2 --payload=4096
 //        --width=3 (per-request team for +parallel) --real --handler-ms=20
-//        --full --csv=DIR
+//        --burst=N (pipelined requests per user round trip; batched
+//        submission through the connectors) --full --csv=DIR
 
 #include <cstdio>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/tracing.hpp"
 #include "forkjoin/team.hpp"
 #include "httpsim/connector.hpp"
 #include "httpsim/encryption_service.hpp"
@@ -83,6 +85,7 @@ int main(int argc, char** argv) {
   cfg.users.requests_per_user =
       static_cast<int>(args.get_long("requests", full ? 5 : 2));
   cfg.users.payload_bytes = cfg.payload;
+  cfg.users.burst = static_cast<int>(args.get_long("burst", 1));
   evmp::kernels::set_simulated_cores(
       static_cast<int>(args.get_long("sim-cores", 16)));
 
@@ -133,6 +136,20 @@ int main(int argc, char** argv) {
   std::printf("# 'teams spawned': per-request fork-join teams created by the "
               "+parallel variants in this row (the paper's oversubscription "
               "mechanism).\n");
+  if (cfg.users.burst > 1) {
+    std::printf("# burst=%d: each user pipelines %d requests per round trip; "
+                "connectors admit each burst via batched submission.\n",
+                cfg.users.burst, cfg.users.burst);
+  }
+
+  // Run-queue fan-in counters published by the executors of the final run
+  // (worker pool shards, dispatcher batches); see common::Tracer.
+  std::printf("# executor counters (last run):\n");
+  for (const auto& [counter, value] :
+       evmp::common::Tracer::instance().counters()) {
+    std::printf("#   %-32s %llu\n", counter.c_str(),
+                static_cast<unsigned long long>(value));
+  }
 
   const std::string csv_dir = args.get("csv", "");
   if (!csv_dir.empty()) {

@@ -1,0 +1,343 @@
+#pragma once
+// Sharded MPMC run queue: the scalability successor to MpmcQueue.
+//
+// MpmcQueue funnels every producer and consumer through one mutex+condvar;
+// under many-producer bursts (the §V.B virtual-user swarm) that single lock
+// is the throughput ceiling of every executor built on it. ShardedMpmcQueue
+// stripes the FIFO across N independently locked shards:
+//
+//  * push() hashes the producer thread to a home shard and takes only that
+//    shard's lock — disjoint producers never contend;
+//  * push_batch() admits a whole burst under ONE shard lock and ONE notify,
+//    amortising the synchronisation cost across the batch;
+//  * pop() serves a consumer from its home shard first and work-pulls from
+//    sibling shards when the home shard is dry, so no item is stranded;
+//  * close() preserves MpmcQueue's shutdown contract exactly: pending items
+//    remain poppable, new pushes are refused, blocked consumers wake once
+//    the queue has drained. close() latches the flag while holding every
+//    shard lock, which linearises it against all in-flight pushes.
+//
+// Ordering: FIFO per shard — hence FIFO per producer thread — but not
+// globally FIFO across producers (MpmcQueue was not usefully FIFO across
+// racing producers either: the interleaving was arbitrary).
+//
+// Wakeups avoid the shared condition variable entirely while consumers are
+// busy: a push only touches the cv mutex when the sleeper count says someone
+// is actually parked, so uncontended producers stay shard-local. The
+// generation/sleeper handshake below (seq_cst on both sides) is the classic
+// store-buffer pairing: a consumer registers as a sleeper before re-checking
+// the generation, a producer bumps the generation before checking sleepers —
+// at least one side always observes the other, so no wakeup is lost.
+//
+// Each queue keeps relaxed-atomic counters (pushes, batches, pops, steals,
+// lock collisions, max depth) so executors can expose their fan-in behaviour
+// through common::tracing; reading them costs nothing on the hot path.
+//
+// Lifetime caveat (differs from MpmcQueue): push() touches queue members
+// after its item became poppable, so a producer must ensure the queue
+// outlives its push() call. Every executor in this repo guarantees that by
+// joining its workers before destroying the queue; posting to an executor
+// racing with its destruction was already undefined before this change.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace evmp::common {
+
+/// Snapshot of a sharded queue's counters (values are monotone except
+/// max_depth, which is a high-water mark; all are approximate under races
+/// by design — they are observability, not synchronisation).
+struct ShardedQueueStats {
+  std::uint64_t pushes = 0;        ///< single-item push() calls accepted
+  std::uint64_t batch_pushes = 0;  ///< push_batch() calls accepted
+  std::uint64_t batch_items = 0;   ///< items admitted via push_batch()
+  std::uint64_t pops = 0;          ///< items handed to consumers
+  std::uint64_t steals = 0;        ///< pops served from a non-home shard
+  std::uint64_t collisions = 0;    ///< pushes that found their shard locked
+  std::uint64_t max_depth = 0;     ///< deepest single shard ever observed
+};
+
+/// Unbounded MPMC FIFO striped over `num_shards` mutex-protected shards.
+/// Drop-in for MpmcQueue where global FIFO across producers is not required
+/// (executor run queues). `num_shards` is rounded up to a power of two;
+/// 0 selects a default based on the hardware concurrency.
+template <class T>
+class ShardedMpmcQueue {
+ public:
+  explicit ShardedMpmcQueue(std::size_t num_shards = 0) {
+    if (num_shards == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      num_shards = hw == 0 ? 1 : hw;
+    }
+    std::size_t rounded = 1;
+    while (rounded < num_shards && rounded < kMaxShards) rounded <<= 1;
+    shards_.reserve(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    mask_ = rounded - 1;
+  }
+  ShardedMpmcQueue(const ShardedMpmcQueue&) = delete;
+  ShardedMpmcQueue& operator=(const ShardedMpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Stable home-shard index for the calling thread (also usable as the
+  /// `home` hint for pop()/try_pop()).
+  [[nodiscard]] std::size_t home_shard() const noexcept {
+    return thread_slot() & mask_;
+  }
+
+  /// Push one item to the producer's home shard. Returns false (drops the
+  /// item) if the queue is closed.
+  bool push(T item) { return push_to(home_shard(), std::move(item)); }
+
+  /// Push to an explicit shard (tests; executors with indexed workers).
+  bool push_to(std::size_t shard_index, T item) {
+    Shard& s = shard(shard_index);
+    {
+      std::unique_lock lk(s.mu, std::try_to_lock);
+      if (!lk.owns_lock()) {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+      }
+      if (closed_.load(std::memory_order_acquire)) return false;
+      s.items.push_back(std::move(item));
+      note_depth(s.items.size());
+      size_.fetch_add(1, std::memory_order_release);
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake(false);
+    return true;
+  }
+
+  /// Admit a whole batch under one shard lock and one notification. The
+  /// batch is atomic with respect to close(): either every item is admitted
+  /// (returns items.size()) or the queue was closed and none are (returns
+  /// 0, items are left in a moved-from state only when admitted).
+  /// Items keep their relative order (single shard ⇒ FIFO within batch).
+  std::size_t push_batch(std::span<T> items) {
+    return push_batch_to(home_shard(), items);
+  }
+
+  std::size_t push_batch_to(std::size_t shard_index, std::span<T> items) {
+    if (items.empty()) return 0;
+    Shard& s = shard(shard_index);
+    {
+      std::unique_lock lk(s.mu, std::try_to_lock);
+      if (!lk.owns_lock()) {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+      }
+      if (closed_.load(std::memory_order_acquire)) return 0;
+      for (T& item : items) {
+        s.items.push_back(std::move(item));
+      }
+      note_depth(s.items.size());
+      size_.fetch_add(items.size(), std::memory_order_release);
+      batch_pushes_.fetch_add(1, std::memory_order_relaxed);
+      batch_items_.fetch_add(items.size(), std::memory_order_relaxed);
+    }
+    wake(true);  // a batch may satisfy many sleeping consumers
+    return items.size();
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  /// Returns nullopt only on closed-and-empty. `home` biases which shard is
+  /// scanned first (defaults to the calling thread's home shard).
+  std::optional<T> pop() { return pop(home_shard()); }
+
+  std::optional<T> pop(std::size_t home) {
+    for (;;) {
+      const std::uint64_t gen = gen_.load();  // seq_cst: pairs with wake()
+      if (auto item = scan(home)) return item;
+      if (closed_.load(std::memory_order_acquire)) {
+        // All pre-close pushes are visible once closed_ reads true (the
+        // flag is latched while holding every shard lock), so one more
+        // full scan decides drained-ness.
+        if (auto item = scan(home)) return item;
+        return std::nullopt;
+      }
+      SleeperGuard sleeper(sleepers_);
+      std::unique_lock lk(cv_mu_);
+      cv_.wait(lk, [&] {
+        return closed_.load(std::memory_order_relaxed) ||
+               gen_.load(std::memory_order_relaxed) != gen;
+      });
+    }
+  }
+
+  /// Non-blocking pop; nullopt when every shard is empty.
+  std::optional<T> try_pop() { return try_pop(home_shard()); }
+  std::optional<T> try_pop(std::size_t home) { return scan(home); }
+
+  /// Block up to `timeout`; nullopt on timeout or closed-and-empty.
+  template <class Rep, class Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const std::size_t home = home_shard();
+    for (;;) {
+      const std::uint64_t gen = gen_.load();  // seq_cst: pairs with wake()
+      if (auto item = scan(home)) return item;
+      if (closed_.load(std::memory_order_acquire)) {
+        if (auto item = scan(home)) return item;
+        return std::nullopt;
+      }
+      SleeperGuard sleeper(sleepers_);
+      std::unique_lock lk(cv_mu_);
+      if (!cv_.wait_until(lk, deadline, [&] {
+            return closed_.load(std::memory_order_relaxed) ||
+                   gen_.load(std::memory_order_relaxed) != gen;
+          })) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Close the queue: pending items remain poppable, new pushes (and whole
+  /// batches) are refused, blocked consumers wake once the queue drains.
+  void close() {
+    // Latch the flag while holding every shard lock: any concurrent push
+    // either completed before we got its shard (item visible to the final
+    // drain scan) or observes closed_ and is refused. This is the sharded
+    // equivalent of MpmcQueue setting closed_ under its one mutex.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& s : shards_) locks.emplace_back(s->mu);
+    closed_.store(true, std::memory_order_release);
+    locks.clear();
+    wake(true);
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] ShardedQueueStats stats() const noexcept {
+    ShardedQueueStats s;
+    s.pushes = pushes_.load(std::memory_order_relaxed);
+    s.batch_pushes = batch_pushes_.load(std::memory_order_relaxed);
+    s.batch_items = batch_items_.load(std::memory_order_relaxed);
+    s.pops = pops_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.collisions = collisions_.load(std::memory_order_relaxed);
+    s.max_depth = max_depth_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kMaxShards = 64;
+
+  struct Shard {
+    std::mutex mu;
+    std::deque<T> items;
+  };
+
+  Shard& shard(std::size_t index) noexcept {
+    return *shards_[index & mask_];
+  }
+
+  /// Small stable per-thread slot, assigned round-robin on first use so
+  /// concurrent producers spread evenly over shards regardless of how the
+  /// OS allocates thread ids.
+  static std::size_t thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+  }
+
+  /// One sweep over all shards starting at `home`; takes at most one item.
+  std::optional<T> scan(std::size_t home) {
+    const std::size_t n = shards_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      Shard& s = shard(home + k);
+      std::scoped_lock lk(s.mu);
+      if (s.items.empty()) continue;
+      T item = std::move(s.items.front());
+      s.items.pop_front();
+      size_.fetch_sub(1, std::memory_order_release);
+      pops_.fetch_add(1, std::memory_order_relaxed);
+      if (k != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  void note_depth(std::size_t depth) noexcept {
+    // Benign cross-shard race: this is a high-water mark for reporting.
+    if (depth > max_depth_.load(std::memory_order_relaxed)) {
+      max_depth_.store(depth, std::memory_order_relaxed);
+    }
+  }
+
+  /// RAII sleeper registration for the store-buffer handshake with wake().
+  class SleeperGuard {
+   public:
+    explicit SleeperGuard(std::atomic<std::size_t>& count) : count_(count) {
+      count_.fetch_add(1);  // seq_cst
+    }
+    ~SleeperGuard() { count_.fetch_sub(1); }
+    SleeperGuard(const SleeperGuard&) = delete;
+    SleeperGuard& operator=(const SleeperGuard&) = delete;
+
+   private:
+    std::atomic<std::size_t>& count_;
+  };
+
+  /// Bump the wake generation; notify only when a consumer is parked.
+  /// Seq_cst ordering (gen bump, then sleeper read) against pop()'s
+  /// (sleeper registration, then gen re-read) guarantees at least one side
+  /// sees the other: either the consumer's wait predicate observes the new
+  /// generation and never sleeps, or this producer observes the sleeper and
+  /// notifies. The notification itself is taken under cv_mu_, which a
+  /// parked consumer holds until it is genuinely waiting — so the notify
+  /// cannot fire into the gap between predicate check and sleep.
+  void wake(bool all) {
+    gen_.fetch_add(1);  // seq_cst
+    if (sleepers_.load() == 0) return;
+    std::scoped_lock lk(cv_mu_);
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t mask_ = 0;
+
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::size_t> size_{0};
+
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> batch_pushes_{0};
+  std::atomic<std::uint64_t> batch_items_{0};
+  std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> collisions_{0};
+  std::atomic<std::uint64_t> max_depth_{0};
+};
+
+}  // namespace evmp::common

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -61,6 +62,17 @@ class Tracer {
   /// Collection capacity (spans); default 1<<20.
   void set_capacity(std::size_t cap);
 
+  // --- named counters -----------------------------------------------------
+  // Executors publish their run-queue statistics here (posts, batched
+  // posts, steals, shard collisions, max depth ...) keyed by
+  // "<executor>.<counter>". Unlike spans, counters are collected even while
+  // span tracing is disabled: they are set at executor shutdown, not on the
+  // hot path, and the figure benches print them after each sweep.
+  void set_counter(std::string name, std::uint64_t value);
+  void add_counter(std::string name, std::uint64_t delta);
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+  void clear_counters();
+
  private:
   Tracer() = default;
 
@@ -70,6 +82,9 @@ class Tracer {
   std::size_t dropped_ = 0;
   TimePoint epoch_{};
   std::atomic<bool> enabled_{false};
+
+  mutable std::mutex counters_mu_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 /// RAII helper: records [construction, destruction) as one span.

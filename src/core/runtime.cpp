@@ -168,6 +168,85 @@ exec::TaskHandle Runtime::invoke_target_block(std::string_view tname,
   return exec::TaskHandle(state);  // unreachable
 }
 
+std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
+    std::string_view tname, std::vector<exec::Task> blocks, Async mode,
+    std::string_view tag) {
+  std::vector<exec::TaskHandle> handles;
+  if (blocks.empty()) return handles;
+
+  // Disabled runtime: sequential semantics, block by block.
+  if (!enabled()) {
+    for (auto& block : blocks) block();
+    return handles;
+  }
+
+  exec::Executor& executor = resolve(tname);
+
+  // Thread-context awareness applies to the whole burst: member threads run
+  // it synchronously in order (Algorithm 1 line 6, N times).
+  if (executor.owns_current_thread()) {
+    {
+      std::scoped_lock lk(stats_mu_);
+      stats_.inline_fast_path += blocks.size();
+    }
+    for (auto& block : blocks) block();
+    return handles;
+  }
+
+  // Wrap every block with the same completion/tag/exception protocol as
+  // invoke_target_block, then submit the burst in one post_batch call.
+  handles.reserve(blocks.size());
+  std::vector<exec::Task> wrapped;
+  wrapped.reserve(blocks.size());
+  const bool report_unhandled = (mode == Async::kNowait);
+  const std::string executor_name(executor.name());
+  TagGroup* group = nullptr;
+  if (mode == Async::kNameAs) group = &tags_.group(tag);
+  for (auto& block : blocks) {
+    auto state = std::make_shared<exec::CompletionState>();
+    handles.emplace_back(state);
+    if (group != nullptr) group->enter();
+    wrapped.emplace_back([state, group, report_unhandled, executor_name,
+                          fn = std::move(block)]() mutable {
+      try {
+        fn();
+        state->set_done();
+        if (group != nullptr) group->leave(nullptr);
+      } catch (...) {
+        auto ep = std::current_exception();
+        state->set_exception(ep);
+        if (group != nullptr) group->leave(ep);
+        if (report_unhandled) {
+          exec::unhandled_exception_hook()(executor_name, ep);
+        }
+      }
+    });
+  }
+  executor.post_batch(wrapped);
+  {
+    std::scoped_lock lk(stats_mu_);
+    stats_.posted += handles.size();
+    ++stats_.batch_posts;
+  }
+
+  switch (mode) {
+    case Async::kNowait:
+    case Async::kNameAs:
+      return handles;
+    case Async::kAwait:
+      for (const auto& handle : handles) await_completion(handle.state());
+      return handles;
+    case Async::kDefault:
+      {
+        std::scoped_lock lk(stats_mu_);
+        stats_.default_waits += handles.size();
+      }
+      for (const auto& handle : handles) handle.wait();
+      return handles;
+  }
+  return handles;  // unreachable
+}
+
 void Runtime::await_completion(
     const std::shared_ptr<exec::CompletionState>& state) {
   {

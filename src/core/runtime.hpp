@@ -23,6 +23,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/async_mode.hpp"
 #include "core/tag_group.hpp"
@@ -49,6 +50,7 @@ class TargetNotFound : public std::runtime_error {
 struct RuntimeStats {
   std::uint64_t inline_fast_path = 0;  ///< membership hit, ran synchronously
   std::uint64_t posted = 0;            ///< blocks posted to an executor
+  std::uint64_t batch_posts = 0;       ///< invoke_target_batch submissions
   std::uint64_t awaits = 0;
   std::uint64_t await_pumped = 0;      ///< handlers pumped inside awaits
   std::uint64_t default_waits = 0;
@@ -127,6 +129,20 @@ class Runtime {
                                        exec::Task block,
                                        Async mode = Async::kDefault,
                                        std::string_view tag = {});
+
+  /// Batched Algorithm 1: dispatch a burst of target blocks to one virtual
+  /// target as a single submission — queue-backed executors take their
+  /// shard lock once and wake consumers once for the whole burst (see
+  /// Executor::post_batch). Returns one handle per block, in submission
+  /// order. Per-block semantics match invoke_target_block: kNowait /
+  /// kNameAs return immediately (tag joins via wait_tag as usual); kAwait
+  /// applies the logical barrier until every block in the burst finished;
+  /// kDefault blocks until every block finished. Blocks run inline (and
+  /// the returned handles are empty) when the calling thread belongs to
+  /// the target executor or the runtime is disabled.
+  std::vector<exec::TaskHandle> invoke_target_batch(
+      std::string_view tname, std::vector<exec::Task> blocks,
+      Async mode = Async::kNowait, std::string_view tag = {});
 
   /// Shorthand for a directive with no target-property-clause: dispatch to
   /// the default target.

@@ -59,6 +59,32 @@ class TargetRef {
                                      std::forward<F>(block));
   }
 
+  // --- batched forms ------------------------------------------------------
+  // A burst of target blocks submitted as one operation: the backing
+  // executor takes its shard lock once and wakes workers once (see
+  // Runtime::invoke_target_batch). One handle per block, in order.
+
+  /// nowait burst: fire-and-forget the whole batch.
+  std::vector<exec::TaskHandle> nowait_batch(
+      std::vector<exec::Task> blocks) && {
+    return std::move(*this).dispatch_batch(Async::kNowait, {},
+                                           std::move(blocks));
+  }
+
+  /// name_as(tag) burst: fire all, join the tag later with wait_tag(tag).
+  std::vector<exec::TaskHandle> name_as_batch(
+      std::string_view tag, std::vector<exec::Task> blocks) && {
+    return std::move(*this).dispatch_batch(Async::kNameAs, tag,
+                                           std::move(blocks));
+  }
+
+  /// await burst: logical barrier until every block in the batch finished.
+  std::vector<exec::TaskHandle> await_batch(
+      std::vector<exec::Task> blocks) && {
+    return std::move(*this).dispatch_batch(Async::kAwait, {},
+                                           std::move(blocks));
+  }
+
  private:
   template <class F>
   exec::TaskHandle dispatch(Async mode, std::string_view tag, F&& block) && {
@@ -69,6 +95,15 @@ class TargetRef {
     }
     return rt_.invoke_target_block(tname_, exec::Task(std::forward<F>(block)),
                                    mode, tag);
+  }
+
+  std::vector<exec::TaskHandle> dispatch_batch(
+      Async mode, std::string_view tag, std::vector<exec::Task> blocks) && {
+    if (!condition_) {
+      for (auto& block : blocks) block();
+      return {};
+    }
+    return rt_.invoke_target_batch(tname_, std::move(blocks), mode, tag);
   }
 
   Runtime& rt_;

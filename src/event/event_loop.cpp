@@ -45,6 +45,23 @@ void EventLoop::post(exec::Task task) {
   cv_.notify_all();
 }
 
+void EventLoop::post_batch(std::span<exec::Task> tasks) {
+  if (tasks.empty()) return;
+  std::scoped_lock lk(mu_);
+  if (stop_requested_) {
+    EVMP_LOG_WARN << "batch of " << tasks.size()
+                  << " events posted to stopped loop '" << name()
+                  << "' was dropped";
+    return;
+  }
+  const auto posted = common::now();  // one timestamp for the whole burst
+  for (exec::Task& task : tasks) {
+    queue_.push_back(QueuedEvent{posted, std::move(task)});
+  }
+  batch_posts_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_all();  // under the lock: see post()
+}
+
 void EventLoop::post_delayed(exec::Task task, common::Nanos delay) {
   std::scoped_lock lk(mu_);
   if (stop_requested_) return;
@@ -168,9 +185,17 @@ void EventLoop::run() {
 }
 
 void EventLoop::stop() {
-  std::scoped_lock lk(mu_);
-  stop_requested_ = true;
-  cv_.notify_all();  // under the lock: see post()
+  {
+    std::scoped_lock lk(mu_);
+    stop_requested_ = true;
+    cv_.notify_all();  // under the lock: see post()
+  }
+  auto& tracer = common::Tracer::instance();
+  const std::string prefix(name());
+  tracer.set_counter(prefix + ".dispatched",
+                     dispatched_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".batch_posts",
+                     batch_posts_.load(std::memory_order_relaxed));
 }
 
 void EventLoop::wait_until_idle() {

@@ -58,6 +58,13 @@ class EventLoop final : public exec::Executor {
   /// Enqueue an event handler for execution on the EDT.
   void post(exec::Task task) override;
 
+  /// Enqueue a burst of handlers under one queue lock with one wakeup;
+  /// dispatch order within the batch matches submission order, exactly as
+  /// N consecutive post() calls from the same thread would. Keeps the EDT's
+  /// global FIFO (single ready queue) — batching only amortises the
+  /// producer-side synchronisation.
+  void post_batch(std::span<exec::Task> tasks) override;
+
   /// EDT-only: dispatch one pending event from inside a running handler
   /// (re-entrant pump). Foreign threads get false.
   bool try_run_one() override;
@@ -106,6 +113,11 @@ class EventLoop final : public exec::Executor {
   [[nodiscard]] int max_nesting() const noexcept {
     return max_nesting_.load(std::memory_order_relaxed);
   }
+  /// post_batch() calls accepted (events they carried count in pending()/
+  /// dispatched() as usual).
+  [[nodiscard]] std::uint64_t batch_posts() const noexcept {
+    return batch_posts_.load(std::memory_order_relaxed);
+  }
   /// Distribution of post→dispatch-start delays (EDT responsiveness).
   [[nodiscard]] const common::LatencyHistogram& dispatch_delay() const noexcept {
     return delay_hist_;
@@ -140,6 +152,7 @@ class EventLoop final : public exec::Executor {
 
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> batch_posts_{0};
   std::atomic<std::int64_t> busy_ns_{0};
   std::atomic<int> max_nesting_{0};
   int nesting_ = 0;  // touched only by the EDT

@@ -6,34 +6,48 @@
 #include <thread>
 #include <vector>
 
-#include "common/queue.hpp"
+#include "common/sharded_queue.hpp"
 #include "executor/executor.hpp"
 
 namespace evmp::exec {
 
-/// A named pool of `m` worker threads sharing one FIFO task queue.
+/// A named pool of `m` worker threads sharing one sharded FIFO run queue.
 ///
-/// Threads are started in the constructor and joined in the destructor
-/// (or an explicit shutdown()); tasks still queued at shutdown are drained
-/// before the threads exit, so no accepted work is silently dropped.
+/// The queue is striped so disjoint producers take disjoint locks (see
+/// common::ShardedMpmcQueue); each worker drains its own home shard first
+/// and pulls from sibling shards when dry, and post_batch() admits a whole
+/// burst under one lock. Threads are started in the constructor and joined
+/// in the destructor (or an explicit shutdown()); tasks still queued at
+/// shutdown are drained before the threads exit, so no accepted work is
+/// silently dropped.
 class ThreadPoolExecutor final : public Executor {
  public:
-  ThreadPoolExecutor(std::string name, std::size_t num_threads);
+  /// `num_shards` 0 picks one shard per worker (rounded up to a power of
+  /// two), which keeps a single-thread pool on the classic one-lock layout.
+  ThreadPoolExecutor(std::string name, std::size_t num_threads,
+                     std::size_t num_shards = 0);
   ~ThreadPoolExecutor() override;
 
   void post(Task task) override;
+  void post_batch(std::span<Task> tasks) override;
   bool try_run_one() override;
   [[nodiscard]] std::size_t concurrency() const noexcept override;
   [[nodiscard]] std::size_t pending() const override;
 
   /// Stop accepting tasks, drain the queue, and join all workers.
-  /// Idempotent; called automatically by the destructor.
+  /// Idempotent; called automatically by the destructor. Publishes the
+  /// queue counters to common::Tracer under "<name>.<counter>".
   void shutdown();
 
- private:
-  void worker_main();
+  /// Run-queue fan-in counters (posts, batches, steals, collisions ...).
+  [[nodiscard]] common::ShardedQueueStats queue_stats() const noexcept {
+    return queue_.stats();
+  }
 
-  common::MpmcQueue<Task> queue_;
+ private:
+  void worker_main(std::size_t index);
+
+  common::ShardedMpmcQueue<Task> queue_;
   std::vector<std::jthread> threads_;
   std::atomic<bool> shut_down_{false};
 };

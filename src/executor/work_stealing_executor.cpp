@@ -1,6 +1,9 @@
 #include "executor/work_stealing_executor.hpp"
 
+#include <string>
+
 #include "common/logging.hpp"
+#include "common/tracing.hpp"
 
 namespace evmp::exec {
 
@@ -58,6 +61,42 @@ void WorkStealingExecutor::post(Task task) {
     // EventLoop::post for the rationale).
     std::scoped_lock lk(idle_mu_);
     idle_cv_.notify_one();
+  }
+}
+
+void WorkStealingExecutor::post_batch(std::span<Task> tasks) {
+  if (tasks.empty()) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    EVMP_LOG_WARN << "batch of " << tasks.size()
+                  << " tasks posted to shut-down stealing pool '" << name()
+                  << "' was dropped";
+    return;
+  }
+  const int self = current_worker_index();
+  const std::size_t target =
+      self >= 0 ? static_cast<std::size_t>(self)
+                : next_victim_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size();
+  {
+    std::scoped_lock lk(queues_[target]->mu);
+    if (self >= 0) {
+      // Own deque: append in order behind existing work, like N posts.
+      for (Task& task : tasks) {
+        queues_[target]->tasks.push_back(std::move(task));
+      }
+    } else {
+      // Foreign burst: land at the steal end, first batch element in front
+      // (push_front in reverse keeps the batch's relative order FIFO for
+      // thieves).
+      for (std::size_t i = tasks.size(); i-- > 0;) {
+        queues_[target]->tasks.push_front(std::move(tasks[i]));
+      }
+    }
+  }
+  batch_posts_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lk(idle_mu_);
+    idle_cv_.notify_all();  // one wakeup for the whole burst
   }
 }
 
@@ -120,6 +159,15 @@ void WorkStealingExecutor::shutdown() {
     idle_cv_.notify_all();
   }
   threads_.clear();  // jthread joins; workers drain before exiting
+
+  auto& tracer = common::Tracer::instance();
+  const std::string prefix(name());
+  tracer.set_counter(prefix + ".local_pops",
+                     local_pops_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".steals",
+                     steals_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".batch_posts",
+                     batch_posts_.load(std::memory_order_relaxed));
 }
 
 void WorkStealingExecutor::worker_main(int index) {

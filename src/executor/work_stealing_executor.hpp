@@ -30,11 +30,16 @@ class WorkStealingExecutor final : public Executor {
   ~WorkStealingExecutor() override;
 
   void post(Task task) override;
+  /// Admit a burst into one worker deque under a single lock with a single
+  /// wakeup; the deque is chosen round-robin like foreign post(). Batch
+  /// order is preserved at the steal (FIFO) end of the deque.
+  void post_batch(std::span<Task> tasks) override;
   bool try_run_one() override;
   [[nodiscard]] std::size_t concurrency() const noexcept override;
   [[nodiscard]] std::size_t pending() const override;
 
   /// Stop accepting tasks, drain all deques, and join. Idempotent.
+  /// Publishes pop/steal/batch counters to common::Tracer.
   void shutdown();
 
   /// Tasks executed from the owning worker's deque (LIFO pops).
@@ -44,6 +49,10 @@ class WorkStealingExecutor final : public Executor {
   /// Tasks stolen from another worker's deque.
   [[nodiscard]] std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);
+  }
+  /// post_batch() calls accepted.
+  [[nodiscard]] std::uint64_t batch_posts() const noexcept {
+    return batch_posts_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -66,6 +75,7 @@ class WorkStealingExecutor final : public Executor {
   std::atomic<std::uint64_t> next_victim_{0};
   std::atomic<std::uint64_t> local_pops_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> batch_posts_{0};
   std::vector<std::jthread> threads_;  // last: start after queues exist
 };
 

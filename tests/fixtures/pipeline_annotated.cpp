@@ -42,6 +42,12 @@ std::vector<std::string> run_pipeline(evmp::Runtime& rt, bool offload) {
   doubled = value * 2;
 
   add(doubled == 22 ? "double-ok" : "double-bad");
+
+  // Fence: the EDT dispatches FIFO, so awaiting a block on it guarantees
+  // the nowait progress event above ran before the stack locals it
+  // captures (mu, log) go out of scope.
+  //#omp target virtual(edt) await
+  { add("flushed"); }
   return log;
 }
 

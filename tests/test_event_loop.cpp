@@ -28,6 +28,34 @@ TEST(EventLoop, DispatchesPostedEvents) {
   EXPECT_EQ(loop.dispatched(), 10u);
 }
 
+TEST(EventLoop, PostBatchDispatchesInSubmissionOrder) {
+  EventLoop loop;
+  loop.start();
+  std::vector<int> order;
+  std::vector<exec::Task> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.emplace_back([&order, i] { order.push_back(i); });
+  }
+  loop.post_batch(batch);
+  loop.wait_until_idle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  EXPECT_EQ(loop.dispatched(), 16u);
+  EXPECT_EQ(loop.batch_posts(), 1u);
+}
+
+TEST(EventLoop, PostBatchToStoppedLoopIsDropped) {
+  EventLoop loop;
+  loop.start();
+  loop.stop();
+  std::atomic<bool> ran{false};
+  std::vector<exec::Task> batch;
+  batch.emplace_back([&] { ran.store(true); });
+  loop.post_batch(batch);
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(ran.load());
+}
+
 TEST(EventLoop, FifoDispatchOrder) {
   EventLoop loop;
   loop.start();

@@ -185,6 +185,92 @@ TEST(ThreadPool, TasksExecutedCounter) {
   EXPECT_EQ(pool.tasks_executed(), 10u);
 }
 
+TEST(ThreadPool, PostBatchRunsAllTasks) {
+  ThreadPoolExecutor pool("p", 3);
+  std::atomic<int> count{0};
+  common::CountdownLatch latch(64);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&] {
+      count.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  pool.post_batch(tasks);
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(count.load(), 64);
+  const auto s = pool.queue_stats();
+  EXPECT_EQ(s.batch_pushes, 1u);
+  EXPECT_EQ(s.batch_items, 64u);
+}
+
+TEST(ThreadPool, PostBatchEquivalentToIndividualPosts) {
+  // Same observable effect as N posts from one producer: every task runs,
+  // in submission order on a single-thread pool.
+  ThreadPoolExecutor pool("p", 1);
+  std::vector<int> order;
+  common::CountdownLatch latch(20);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.emplace_back([&, i] {
+      order.push_back(i);  // single worker: no race
+      latch.count_down();
+    });
+  }
+  pool.post_batch(tasks);
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{5}));
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  pool.shutdown();  // counter increments after the task body returns
+  EXPECT_EQ(pool.tasks_executed(), 20u);
+}
+
+TEST(ThreadPool, PostBatchAfterShutdownIsDropped) {
+  ThreadPoolExecutor pool("p", 1);
+  pool.shutdown();
+  std::atomic<bool> ran{false};
+  std::vector<Task> tasks;
+  tasks.emplace_back([&] { ran.store(true); });
+  pool.post_batch(tasks);
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPool, ShutdownDrainsBatchedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPoolExecutor pool("p", 2);
+    std::vector<Task> tasks;
+    for (int i = 0; i < 50; ++i) {
+      tasks.emplace_back([&] { count.fetch_add(1); });
+    }
+    pool.post_batch(tasks);
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ManyProducersSpreadOverShards) {
+  ThreadPoolExecutor pool("p", 4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  common::CountdownLatch latch(kProducers * kPerProducer);
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          pool.post([&] { latch.count_down(); });
+        }
+      });
+    }
+  }
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{30}));
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_executed(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
 TEST(UnhandledHook, ReceivesFireAndForgetExceptions) {
   static std::atomic<int> hook_hits{0};
   auto prev = unhandled_exception_hook();

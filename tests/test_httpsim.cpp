@@ -180,6 +180,82 @@ TEST(VirtualUsers, PyjamaConnectorUnderSwarm) {
   EXPECT_EQ(result.failed, 0u);
 }
 
+TEST(JettyConnector, SubmitBatchCompletesAllRequests) {
+  EncryptionService svc(tiny_config());
+  JettyConnector connector(3, svc.handler());
+  std::atomic<int> responses{0};
+  common::CountdownLatch latch(16);
+  std::vector<Request> burst;
+  for (int i = 0; i < 16; ++i) {
+    burst.push_back(make_request(static_cast<std::uint64_t>(i)));
+  }
+  connector.submit_batch(std::move(burst), [&](const Response& r) {
+    if (r.ok) responses.fetch_add(1);
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{30}));
+  EXPECT_EQ(responses.load(), 16);
+}
+
+TEST(PyjamaConnector, SubmitBatchCompletesAllRequests) {
+  EncryptionService svc(tiny_config());
+  PyjamaConnector connector(3, svc.handler());
+  std::atomic<int> responses{0};
+  common::CountdownLatch latch(16);
+  std::vector<Request> burst;
+  for (int i = 0; i < 16; ++i) {
+    burst.push_back(make_request(static_cast<std::uint64_t>(i)));
+  }
+  connector.submit_batch(std::move(burst), [&](const Response& r) {
+    if (r.ok) responses.fetch_add(1);
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{30}));
+  EXPECT_EQ(responses.load(), 16);
+  // The counter increments after the dispatch handler returns, which can
+  // trail the last response slightly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (connector.dispatcher().dispatched() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  EXPECT_EQ(connector.dispatcher().dispatched(), 1u);  // one dispatch/burst
+}
+
+TEST(VirtualUsers, BurstPipelinesThroughBothConnectors) {
+  EncryptionService svc(tiny_config());
+  VirtualUserOptions opt;
+  opt.users = 4;
+  opt.requests_per_user = 8;
+  opt.burst = 4;  // two bursts of four per user
+  {
+    JettyConnector connector(3, svc.handler());
+    const auto result = run_virtual_users(connector, opt);
+    EXPECT_EQ(result.completed, 32u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.latency_ms.count(), 32u);
+  }
+  {
+    PyjamaConnector connector(3, svc.handler());
+    const auto result = run_virtual_users(connector, opt);
+    EXPECT_EQ(result.completed, 32u);
+    EXPECT_EQ(result.failed, 0u);
+  }
+}
+
+TEST(VirtualUsers, BurstLargerThanRemainingRequestsIsClamped) {
+  EncryptionService svc(tiny_config());
+  JettyConnector connector(2, svc.handler());
+  VirtualUserOptions opt;
+  opt.users = 2;
+  opt.requests_per_user = 5;
+  opt.burst = 3;  // 3 + 2 per user
+  const auto result = run_virtual_users(connector, opt);
+  EXPECT_EQ(result.completed, 10u);
+  EXPECT_EQ(result.failed, 0u);
+}
+
 TEST(VirtualUsers, ThroughputAccountingIsConsistent) {
   EncryptionService svc(tiny_config());
   JettyConnector connector(2, svc.handler());

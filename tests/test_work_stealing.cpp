@@ -14,6 +14,34 @@
 namespace evmp::exec {
 namespace {
 
+TEST(WorkStealing, PostBatchRunsAllTasks) {
+  WorkStealingExecutor pool("ws", 3);
+  std::atomic<int> count{0};
+  common::CountdownLatch latch(100);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.emplace_back([&] {
+      count.fetch_add(1);
+      latch.count_down();
+    });
+  }
+  pool.post_batch(tasks);
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.batch_posts(), 1u);
+}
+
+TEST(WorkStealing, PostBatchAfterShutdownIsDropped) {
+  WorkStealingExecutor pool("ws", 1);
+  pool.shutdown();
+  std::atomic<bool> ran{false};
+  std::vector<Task> tasks;
+  tasks.emplace_back([&] { ran.store(true); });
+  pool.post_batch(tasks);
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(ran.load());
+}
+
 TEST(WorkStealing, RunsAllTasks) {
   WorkStealingExecutor pool("ws", 3);
   std::atomic<int> count{0};
