@@ -48,7 +48,7 @@ IoOperation AsyncIoService::submit(const DeviceModel& model,
                                    exec::Executor* post_to,
                                    exec::Task continuation) {
   IoOperation op;
-  auto state = std::make_shared<exec::CompletionState>();
+  exec::CompletionRef state = exec::CompletionState::make();
   op.handle_ = exec::TaskHandle(state);
   {
     std::scoped_lock lk(mu_);

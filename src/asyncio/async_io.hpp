@@ -18,6 +18,7 @@
 // applied to I/O.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -110,7 +111,7 @@ class AsyncIoService {
   struct Pending {
     common::TimePoint due;
     std::uint64_t seq = 0;
-    std::shared_ptr<exec::CompletionState> state;
+    exec::CompletionRef state;
     std::shared_ptr<std::vector<std::uint8_t>> data;
     std::size_t bytes = 0;
     std::uint64_t content_seed = 0;  ///< 0 = no content generation (write)

@@ -1,0 +1,153 @@
+#pragma once
+// Growable double-ended ring buffer: the zero-steady-state-allocation
+// replacement for std::deque in every run queue.
+//
+// std::deque allocates and frees ~512-byte chunks as the head/tail cross
+// block boundaries, so a queue oscillating around a chunk edge pays one
+// malloc/free pair every few pushes — visible as steady-state allocations
+// on the dispatch fast path (bench_overhead's allocation counter). This
+// buffer grows geometrically to the high-water mark and then never
+// allocates again; capacity is retained for the queue's lifetime, which is
+// exactly the executor-run-queue trade-off we want.
+//
+// Requirements: T must be nothrow-move-constructible (enforced below) —
+// growth relocates elements by move and must not be able to throw midway.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace evmp::common {
+
+/// Unbounded (grow-only) ring buffer supporting O(1) push/pop at both ends.
+/// Not thread-safe: callers (queue shards, worker deques) hold their own
+/// locks.
+template <class T>
+class RingBuffer {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "RingBuffer relocates by move on growth; a throwing move "
+                "would lose elements");
+
+ public:
+  RingBuffer() = default;
+
+  explicit RingBuffer(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  RingBuffer(RingBuffer&& other) noexcept
+      : slots_(std::exchange(other.slots_, nullptr)),
+        mask_(std::exchange(other.mask_, 0)),
+        head_(std::exchange(other.head_, 0)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      slots_ = std::exchange(other.slots_, nullptr);
+      mask_ = std::exchange(other.mask_, 0);
+      head_ = std::exchange(other.head_, 0);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~RingBuffer() { destroy(); }
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_ == nullptr ? 0 : mask_ + 1;
+  }
+
+  /// Ensure room for at least `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    if (n > capacity()) grow(n);
+  }
+
+  void push_back(T value) {
+    if (count_ == capacity()) grow(count_ + 1);
+    ::new (static_cast<void*>(slot(head_ + count_))) T(std::move(value));
+    ++count_;
+  }
+
+  void push_front(T value) {
+    if (count_ == capacity()) grow(count_ + 1);
+    head_ = (head_ + mask_) & mask_;  // head_ - 1 mod capacity
+    ::new (static_cast<void*>(slot(head_))) T(std::move(value));
+    ++count_;
+  }
+
+  /// Remove and return the oldest element. Precondition: !empty().
+  T pop_front() noexcept {
+    T* p = slot(head_);
+    T value(std::move(*p));
+    p->~T();
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return value;
+  }
+
+  /// Remove and return the newest element. Precondition: !empty().
+  T pop_back() noexcept {
+    T* p = slot(head_ + count_ - 1);
+    T value(std::move(*p));
+    p->~T();
+    --count_;
+    return value;
+  }
+
+  void clear() noexcept {
+    while (count_ > 0) {
+      slot(head_)->~T();
+      head_ = (head_ + 1) & mask_;
+      --count_;
+    }
+    head_ = 0;
+  }
+
+ private:
+  [[nodiscard]] T* slot(std::size_t logical) const noexcept {
+    return slots_ + (logical & mask_);
+  }
+
+  void grow(std::size_t min_capacity) {
+    std::size_t cap = capacity() == 0 ? kInitialCapacity : capacity();
+    while (cap < min_capacity) cap <<= 1;
+    T* fresh = static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < count_; ++i) {
+      T* p = slot(head_ + i);
+      ::new (static_cast<void*>(fresh + i)) T(std::move(*p));
+      p->~T();
+    }
+    if (slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{alignof(T)});
+    }
+    slots_ = fresh;
+    mask_ = cap - 1;
+    head_ = 0;
+  }
+
+  void destroy() noexcept {
+    clear();
+    if (slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{alignof(T)});
+      slots_ = nullptr;
+      mask_ = 0;
+    }
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  T* slots_ = nullptr;
+  std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
+  std::size_t head_ = 0;   ///< physical index of the front element
+  std::size_t count_ = 0;
+};
+
+}  // namespace evmp::common

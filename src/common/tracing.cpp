@@ -5,8 +5,12 @@
 namespace evmp::common {
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+  // Intentionally leaked: executors owned by function-local statics (the
+  // swing-worker pool) publish counters from their atexit destructors, so
+  // the tracer must outlive every other static. The pointer keeps the
+  // object reachable for LeakSanitizer.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
 }
 
 void Tracer::enable(bool on) {

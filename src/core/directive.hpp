@@ -25,8 +25,10 @@ class DirectiveInvoker {
 
   template <class F>
   exec::TaskHandle operator%(F&& block) const {
-    return rt_.invoke_target_block(tname_, exec::Task(std::forward<F>(block)),
-                                   mode_, tag_);
+    // Unerased forward: one type erasure happens inside the runtime (see
+    // TargetRef::dispatch).
+    return rt_.invoke_target_block(tname_, std::forward<F>(block), mode_,
+                                   tag_);
   }
 
  private:

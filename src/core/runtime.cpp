@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/tracing.hpp"
 #include "core/target.hpp"
 
 namespace evmp {
@@ -69,6 +70,8 @@ void Runtime::clear() {
   // Owned executors shut down here, outside the registry lock, so their
   // draining tasks may still resolve other targets.
   drained.clear();
+  common::Tracer::instance().set_counter("runtime.tags_created",
+                                         tags_.created());
 }
 
 exec::Executor& Runtime::resolve(std::string_view tname) const {
@@ -93,14 +96,16 @@ std::string Runtime::default_target() const {
   return default_target_;
 }
 
-exec::TaskHandle Runtime::invoke_target_block(std::string_view tname,
-                                              exec::Task block, Async mode,
-                                              std::string_view tag) {
+Runtime::DispatchPlan Runtime::plan_dispatch(std::string_view tname,
+                                             Async mode,
+                                             std::string_view tag) {
+  DispatchPlan plan;
+
   // Directives disabled: the "unsupported compiler" semantics — the block
   // is plain sequential code on the encountering thread.
   if (!enabled()) {
-    block();
-    return {};
+    plan.run_inline = true;
+    return plan;
   }
 
   exec::Executor& executor = resolve(tname);
@@ -108,64 +113,44 @@ exec::TaskHandle Runtime::invoke_target_block(std::string_view tname,
   // Algorithm 1, line 6: T ∈ E → execute synchronously by T. The directive
   // is "simply ignored" (thread-context awareness).
   if (executor.owns_current_thread()) {
-    {
-      std::scoped_lock lk(stats_mu_);
-      ++stats_.inline_fast_path;
-    }
-    block();
-    return {};
+    stats_.inline_fast_path.fetch_add(1, std::memory_order_relaxed);
+    plan.run_inline = true;
+    return plan;
   }
 
-  // Line 8: post B to E asynchronously, with completion tracking.
-  auto state = std::make_shared<exec::CompletionState>();
-  TagGroup* group = nullptr;
+  // Line 8: post B to E asynchronously, with completion tracking. The
+  // state comes from the thread-cached pool; kNameAs additionally enters
+  // the (sharded, lock-free-joining) tag group before the post so a racing
+  // wait_tag cannot observe an empty group.
+  plan.executor = &executor;
+  plan.state = exec::CompletionState::make();
   if (mode == Async::kNameAs) {
-    group = &tags_.group(tag);
-    group->enter();
+    plan.group = &tags_.group(tag);
+    plan.group->enter();
   }
-  const bool report_unhandled = (mode == Async::kNowait);
-  const std::string executor_name(executor.name());
-  executor.post([state, group, report_unhandled, executor_name,
-                 fn = std::move(block)]() mutable {
-    try {
-      fn();
-      state->set_done();
-      if (group != nullptr) group->leave(nullptr);
-    } catch (...) {
-      auto ep = std::current_exception();
-      state->set_exception(ep);
-      if (group != nullptr) group->leave(ep);
-      // A nowait block has no join point; surface the failure via the hook
-      // instead of dropping it.
-      if (report_unhandled) {
-        exec::unhandled_exception_hook()(executor_name, ep);
-      }
-    }
-  });
-  {
-    std::scoped_lock lk(stats_mu_);
-    ++stats_.posted;
-  }
+  plan.report_unhandled = (mode == Async::kNowait);
+  return plan;
+}
 
+exec::TaskHandle Runtime::finish_dispatch(exec::CompletionRef state,
+                                          Async mode) {
+  stats_.posted.fetch_add(1, std::memory_order_relaxed);
   switch (mode) {
     case Async::kNowait:
     case Async::kNameAs:
       // Lines 10-11: continue with the statements after the block.
-      return exec::TaskHandle(state);
+      return exec::TaskHandle(std::move(state));
     case Async::kAwait:
       // Lines 13-16: logical barrier.
       await_completion(state);
-      return exec::TaskHandle(state);
+      return exec::TaskHandle(std::move(state));
     case Async::kDefault:
       // Line 17: plain wait (standard `target` behaviour).
-      {
-        std::scoped_lock lk(stats_mu_);
-        ++stats_.default_waits;
-      }
-      exec::TaskHandle(state).wait();
-      return exec::TaskHandle(state);
+      stats_.default_waits.fetch_add(1, std::memory_order_relaxed);
+      state->wait();
+      return exec::TaskHandle(std::move(state));
   }
-  return exec::TaskHandle(state);  // unreachable
+  return exec::TaskHandle(std::move(state));  // unreachable
 }
 
 std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
@@ -185,10 +170,8 @@ std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
   // Thread-context awareness applies to the whole burst: member threads run
   // it synchronously in order (Algorithm 1 line 6, N times).
   if (executor.owns_current_thread()) {
-    {
-      std::scoped_lock lk(stats_mu_);
-      stats_.inline_fast_path += blocks.size();
-    }
+    stats_.inline_fast_path.fetch_add(blocks.size(),
+                                      std::memory_order_relaxed);
     for (auto& block : blocks) block();
     return handles;
   }
@@ -199,35 +182,21 @@ std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
   std::vector<exec::Task> wrapped;
   wrapped.reserve(blocks.size());
   const bool report_unhandled = (mode == Async::kNowait);
-  const std::string executor_name(executor.name());
   TagGroup* group = nullptr;
   if (mode == Async::kNameAs) group = &tags_.group(tag);
   for (auto& block : blocks) {
-    auto state = std::make_shared<exec::CompletionState>();
+    exec::CompletionRef state = exec::CompletionState::make();
     handles.emplace_back(state);
     if (group != nullptr) group->enter();
-    wrapped.emplace_back([state, group, report_unhandled, executor_name,
+    wrapped.emplace_back([state = std::move(state), group, report_unhandled,
+                          ex = &executor,
                           fn = std::move(block)]() mutable {
-      try {
-        fn();
-        state->set_done();
-        if (group != nullptr) group->leave(nullptr);
-      } catch (...) {
-        auto ep = std::current_exception();
-        state->set_exception(ep);
-        if (group != nullptr) group->leave(ep);
-        if (report_unhandled) {
-          exec::unhandled_exception_hook()(executor_name, ep);
-        }
-      }
+      run_dispatched_block(fn, state, group, ex, report_unhandled);
     });
   }
   executor.post_batch(wrapped);
-  {
-    std::scoped_lock lk(stats_mu_);
-    stats_.posted += handles.size();
-    ++stats_.batch_posts;
-  }
+  stats_.posted.fetch_add(handles.size(), std::memory_order_relaxed);
+  stats_.batch_posts.fetch_add(1, std::memory_order_relaxed);
 
   switch (mode) {
     case Async::kNowait:
@@ -237,39 +206,39 @@ std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
       for (const auto& handle : handles) await_completion(handle.state());
       return handles;
     case Async::kDefault:
-      {
-        std::scoped_lock lk(stats_mu_);
-        stats_.default_waits += handles.size();
-      }
+      stats_.default_waits.fetch_add(handles.size(),
+                                     std::memory_order_relaxed);
       for (const auto& handle : handles) handle.wait();
       return handles;
   }
   return handles;  // unreachable
 }
 
-void Runtime::await_completion(
-    const std::shared_ptr<exec::CompletionState>& state) {
-  {
-    std::scoped_lock lk(stats_mu_);
-    ++stats_.awaits;
-  }
+void Runtime::await_completion(const exec::CompletionRef& state) {
+  stats_.awaits.fetch_add(1, std::memory_order_relaxed);
   exec::Executor* self = exec::Executor::current();
+  if (self == nullptr) {
+    // Foreign thread: nothing to pump, so park on the completion futex and
+    // wake exactly when the block finishes (no polling quantum).
+    state->wait();
+    state->rethrow_if_error();
+    return;
+  }
   std::uint64_t pumped = 0;
   while (!state->done()) {
     // "while B is not finished do T.processAnotherEventHandler()":
     // a member thread drains its own executor's queue (the EDT dispatches
     // other events; a pool thread runs other tasks).
-    if (self != nullptr && self->try_run_one()) {
+    if (self->try_run_one()) {
       ++pumped;
       continue;
     }
-    // Foreign thread, or nothing pending right now: block briefly instead
-    // of busy-spinning, then re-check both conditions.
+    // Nothing pending right now: block briefly instead of busy-spinning,
+    // then re-check both conditions.
     state->wait_for(std::chrono::microseconds{200});
   }
   if (pumped != 0) {
-    std::scoped_lock lk(stats_mu_);
-    stats_.await_pumped += pumped;
+    stats_.await_pumped.fetch_add(pumped, std::memory_order_relaxed);
   }
   state->rethrow_if_error();
 }
@@ -281,9 +250,9 @@ void Runtime::await_handle(const exec::TaskHandle& handle) {
 
 void Runtime::wait_tag(std::string_view tag) {
   exec::Executor* self = exec::Executor::current();
-  tags_.group(tag).wait(
-      self != nullptr ? std::function<bool()>([self] { return self->try_run_one(); })
-                      : std::function<bool()>{});
+  std::function<bool()> help;
+  if (self != nullptr) help = [self] { return self->try_run_one(); };
+  tags_.group(tag).wait(help);
 }
 
 TargetRef Runtime::target(std::string tname) {
@@ -291,13 +260,24 @@ TargetRef Runtime::target(std::string tname) {
 }
 
 RuntimeStats Runtime::stats() const {
-  std::scoped_lock lk(stats_mu_);
-  return stats_;
+  RuntimeStats out;
+  out.inline_fast_path =
+      stats_.inline_fast_path.load(std::memory_order_relaxed);
+  out.posted = stats_.posted.load(std::memory_order_relaxed);
+  out.batch_posts = stats_.batch_posts.load(std::memory_order_relaxed);
+  out.awaits = stats_.awaits.load(std::memory_order_relaxed);
+  out.await_pumped = stats_.await_pumped.load(std::memory_order_relaxed);
+  out.default_waits = stats_.default_waits.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Runtime::reset_stats() {
-  std::scoped_lock lk(stats_mu_);
-  stats_ = RuntimeStats{};
+  stats_.inline_fast_path.store(0, std::memory_order_relaxed);
+  stats_.posted.store(0, std::memory_order_relaxed);
+  stats_.batch_posts.store(0, std::memory_order_relaxed);
+  stats_.awaits.store(0, std::memory_order_relaxed);
+  stats_.await_pumped.store(0, std::memory_order_relaxed);
+  stats_.default_waits.store(0, std::memory_order_relaxed);
 }
 
 Runtime& rt() {

@@ -14,6 +14,14 @@
 //      encountering thread processes other queued handlers of its own
 //      executor (nested event dispatch on the EDT, task stealing on pools);
 //   5. default: block until finished.
+//
+// Dispatch cost model (DESIGN.md §7): invoke_target_block is a template so
+// the user's callable is type-erased exactly once, already wrapped with the
+// completion protocol — the wrapper (pooled completion handle + tag group +
+// executor + flag + user capture) fits exec::Task's inline buffer, the
+// completion state comes from a thread-cached pool, and the per-mode
+// counters are relaxed atomics. Steady-state, a nowait dispatch performs no
+// heap allocation and takes no lock other than the target's queue shard.
 
 #include <atomic>
 #include <cstdint>
@@ -23,6 +31,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/async_mode.hpp"
@@ -125,10 +135,29 @@ class Runtime {
   /// Dispatch a target block to the named virtual target under `mode`.
   /// `tag` is required for Async::kNameAs and ignored otherwise. Returns a
   /// handle to the submission (empty if the block ran inline).
-  exec::TaskHandle invoke_target_block(std::string_view tname,
-                                       exec::Task block,
+  ///
+  /// Templated on the callable so the block is type-erased once, already
+  /// inside its completion-protocol wrapper (small captures therefore ride
+  /// the Task's inline buffer — no per-post allocation). Accepts anything
+  /// invocable with no arguments, including a pre-erased exec::Task.
+  template <class F, class = std::enable_if_t<
+                         std::is_invocable_v<std::decay_t<F>&>>>
+  exec::TaskHandle invoke_target_block(std::string_view tname, F&& block,
                                        Async mode = Async::kDefault,
-                                       std::string_view tag = {});
+                                       std::string_view tag = {}) {
+    DispatchPlan plan = plan_dispatch(tname, mode, tag);
+    if (plan.run_inline) {
+      block();
+      return {};
+    }
+    plan.executor->post(exec::Task(
+        [state = plan.state, group = plan.group, ex = plan.executor,
+         report = plan.report_unhandled,
+         fn = std::forward<F>(block)]() mutable {
+          run_dispatched_block(fn, state, group, ex, report);
+        }));
+    return finish_dispatch(std::move(plan.state), mode);
+  }
 
   /// Batched Algorithm 1: dispatch a burst of target blocks to one virtual
   /// target as a single submission — queue-backed executors take their
@@ -146,9 +175,12 @@ class Runtime {
 
   /// Shorthand for a directive with no target-property-clause: dispatch to
   /// the default target.
-  exec::TaskHandle invoke_default(exec::Task block, Async mode = Async::kDefault,
+  template <class F, class = std::enable_if_t<
+                         std::is_invocable_v<std::decay_t<F>&>>>
+  exec::TaskHandle invoke_default(F&& block, Async mode = Async::kDefault,
                                   std::string_view tag = {}) {
-    return invoke_target_block(default_target(), std::move(block), mode, tag);
+    return invoke_target_block(default_target(), std::forward<F>(block),
+                               mode, tag);
   }
 
   /// Generic await: apply the logical barrier to any completion handle —
@@ -171,8 +203,49 @@ class Runtime {
   void reset_stats();
 
  private:
+  /// Everything plan-shaped Algorithm 1 decides before the block is
+  /// wrapped: where to post, whether to run inline, the pooled completion
+  /// state and (for name_as) the entered tag group.
+  struct DispatchPlan {
+    exec::Executor* executor = nullptr;
+    TagGroup* group = nullptr;
+    bool report_unhandled = false;
+    bool run_inline = false;
+    exec::CompletionRef state;
+  };
+
+  /// Algorithm 1 lines 1-8 (shared by the template and the batch path);
+  /// non-template so one instantiation serves every callable type.
+  DispatchPlan plan_dispatch(std::string_view tname, Async mode,
+                             std::string_view tag);
+
+  /// Post-submission bookkeeping + per-mode join (lines 10-17).
+  exec::TaskHandle finish_dispatch(exec::CompletionRef state, Async mode);
+
+  /// The completion protocol every dispatched block runs under; shared by
+  /// the single and batch paths.
+  template <class F>
+  static void run_dispatched_block(F& fn, exec::CompletionRef& state,
+                                   TagGroup* group, exec::Executor* ex,
+                                   bool report_unhandled) {
+    try {
+      fn();
+      state->set_done();
+      if (group != nullptr) group->leave(nullptr);
+    } catch (...) {
+      auto ep = std::current_exception();
+      state->set_exception(ep);
+      if (group != nullptr) group->leave(ep);
+      // A nowait block has no join point; surface the failure via the hook
+      // instead of dropping it.
+      if (report_unhandled) {
+        exec::unhandled_exception_hook()(ex->name(), ep);
+      }
+    }
+  }
+
   /// The `await` logical barrier (Algorithm 1 lines 13-16).
-  void await_completion(const std::shared_ptr<exec::CompletionState>& state);
+  void await_completion(const exec::CompletionRef& state);
 
   struct TargetEntry {
     exec::Executor* executor = nullptr;        // non-owning view
@@ -186,8 +259,17 @@ class Runtime {
 
   TagRegistry tags_;
 
-  mutable std::mutex stats_mu_;
-  RuntimeStats stats_;
+  /// Hot-path counters: relaxed atomics (the seed serialised every
+  /// dispatch through a stats mutex).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> inline_fast_path{0};
+    std::atomic<std::uint64_t> posted{0};
+    std::atomic<std::uint64_t> batch_posts{0};
+    std::atomic<std::uint64_t> awaits{0};
+    std::atomic<std::uint64_t> await_pumped{0};
+    std::atomic<std::uint64_t> default_waits{0};
+  };
+  AtomicStats stats_;
 };
 
 /// Process-wide runtime instance (lazily constructed, never destroyed before

@@ -1,63 +1,107 @@
 #include "core/tag_group.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace evmp {
 
-void TagGroup::enter() {
-  std::scoped_lock lk(mu_);
-  ++count_;
+namespace {
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
 }
 
-void TagGroup::leave(std::exception_ptr error) {
-  // Notify under the lock: a waiter may resume and tear the runtime down
-  // as soon as the count is observably zero.
-  std::scoped_lock lk(mu_);
-  if (error && !first_error_) first_error_ = std::move(error);
-  if (--count_ == 0) cv_.notify_all();
+// On a single-core machine a leaver cannot progress while the waiter
+// pause-spins, so the relax phase only delays the hand-over yield.
+bool relax_spins_enabled() noexcept {
+  static const bool enabled = std::thread::hardware_concurrency() > 1;
+  return enabled;
+}
+}  // namespace
+
+void TagGroup::leave(std::exception_ptr error) noexcept {
+  if (error) {
+    while (error_lock_.test_and_set(std::memory_order_acquire)) cpu_relax();
+    if (!first_error_) first_error_ = std::move(error);
+    error_lock_.clear(std::memory_order_release);
+    has_error_.store(true, std::memory_order_release);
+  }
+  // The decrement is the LAST access to this group: a waiter observing
+  // zero may immediately destroy the registry (runtime teardown). Atomic
+  // RMWs extend the release sequence, so a waiter's acquire load of zero
+  // sees every leaver's prior writes, including the error publication.
+  count_.fetch_sub(1, std::memory_order_release);
 }
 
 void TagGroup::wait(const std::function<bool()>& try_help) {
-  std::unique_lock lk(mu_);
-  while (count_ > 0) {
-    if (try_help) {
-      lk.unlock();
-      const bool helped = try_help();
-      lk.lock();
-      if (helped) continue;
-      // Nothing to steal right now: block briefly, then re-check both the
-      // count and the helper (new work may appear in either place).
-      cv_.wait_for(lk, std::chrono::microseconds{200},
-                   [&] { return count_ == 0; });
-    } else {
-      cv_.wait(lk, [&] { return count_ == 0; });
+  // Lock-free join: poll the counter, helping when a helper is supplied.
+  // Backoff in three phases: pause instructions (multi-core: leavers are
+  // often a cache miss away), then sched_yields (single-core: the leaver
+  // cannot decrement until it gets the CPU, and a yield hands it over
+  // directly), then escalating naps capped at 100 us — the quantum the
+  // seed's condvar path used between help attempts.
+  int spins = 0;
+  std::chrono::nanoseconds nap{1000};
+  while (count_.load(std::memory_order_acquire) > 0) {
+    if (try_help && try_help()) {
+      spins = 0;
+      nap = std::chrono::nanoseconds{1000};
+      continue;
     }
+    ++spins;
+    if (spins < 64 && relax_spins_enabled()) {
+      cpu_relax();
+      continue;
+    }
+    if (spins < 320) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::this_thread::sleep_for(nap);
+    nap = std::min(nap * 2, std::chrono::nanoseconds{100000});
   }
-  if (first_error_) {
-    const std::exception_ptr err = first_error_;
+  if (has_error_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    while (error_lock_.test_and_set(std::memory_order_acquire)) cpu_relax();
+    err = std::move(first_error_);
     first_error_ = nullptr;
-    lk.unlock();
-    std::rethrow_exception(err);
+    has_error_.store(false, std::memory_order_relaxed);
+    error_lock_.clear(std::memory_order_release);
+    if (err) std::rethrow_exception(err);
   }
 }
 
-int TagGroup::in_flight() const {
-  std::scoped_lock lk(mu_);
-  return count_;
+TagRegistry::TagRegistry() {
+  for (Shard& shard : shards_) {
+    shard.groups.reserve(8);  // first-use inserts stay rehash-free
+  }
 }
 
 TagGroup& TagRegistry::group(std::string_view tag) {
-  std::scoped_lock lk(mu_);
-  auto it = groups_.find(tag);
-  if (it == groups_.end()) {
-    it = groups_.emplace(std::string(tag), std::make_unique<TagGroup>()).first;
+  const std::size_t hash = TransparentHash{}(tag);
+  Shard& shard = shards_[hash & (kShards - 1)];
+  std::scoped_lock lk(shard.mu);
+  auto it = shard.groups.find(tag);
+  if (it == shard.groups.end()) {
+    it = shard.groups
+             .emplace(std::string(tag), std::make_unique<TagGroup>())
+             .first;
+    created_.fetch_add(1, std::memory_order_relaxed);
   }
   return *it->second;
 }
 
 std::size_t TagRegistry::size() const {
-  std::scoped_lock lk(mu_);
-  return groups_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lk(shard.mu);
+    total += shard.groups.size();
+  }
+  return total;
 }
 
 }  // namespace evmp

@@ -5,15 +5,26 @@
 // name-tag, such that when a wait clause is applied with that name-tag, the
 // encountering thread suspends until all the name-tag asynchronous target
 // block instances finish."
+//
+// Perf shape: enter/leave are single atomic RMWs (the seed took a mutex on
+// both sides of every name_as block), and joining polls the counter
+// lock-free — a bounded spin, then escalating naps — so the `await`-style
+// help-pump never touches a lock. leave()'s final action on the group is
+// the decrement itself (no post-decrement notify), which keeps the
+// seed's teardown guarantee: a waiter may destroy the runtime the moment
+// it observes the count at zero. The exception slot is a cold path guarded
+// by a spinlock and flagged by an atomic.
 
-#include <condition_variable>
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace evmp {
 
@@ -21,11 +32,11 @@ namespace evmp {
 class TagGroup {
  public:
   /// Register one more in-flight block under this tag.
-  void enter();
+  void enter() noexcept { count_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Mark one block finished; `error` is the block's exception (nullptr on
   /// success). The first error is kept and rethrown by the next wait().
-  void leave(std::exception_ptr error);
+  void leave(std::exception_ptr error) noexcept;
 
   /// Block until the in-flight count reaches zero. While waiting,
   /// `try_help()` is polled (if provided) so member threads can process
@@ -33,28 +44,65 @@ class TagGroup {
   /// progress. Rethrows (and clears) the first stored error.
   void wait(const std::function<bool()>& try_help);
 
-  [[nodiscard]] int in_flight() const;
+  [[nodiscard]] int in_flight() const noexcept {
+    return static_cast<int>(count_.load(std::memory_order_acquire));
+  }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<bool> has_error_{false};
+  // The error slot is written at most once per wait cycle and read only
+  // after has_error_ reads true; the flag spinlock covers the cold path.
+  std::atomic_flag error_lock_ = ATOMIC_FLAG_INIT;
   std::exception_ptr first_error_;
 };
 
 /// Name-tag → TagGroup map; groups are created on first use and live for
 /// the registry's lifetime (a tag is a program-wide name, like the paper's).
+/// Sharded by precomputed string hash so concurrent name_as dispatches on
+/// distinct tags never contend on one registry lock, and backed by
+/// pre-reserved unordered_map buckets so first-use insertion does not
+/// rebalance a tree under the lock.
 class TagRegistry {
  public:
+  TagRegistry();
+
   /// Get or create the group for `tag`.
   TagGroup& group(std::string_view tag);
 
   /// Number of distinct tags seen.
   [[nodiscard]] std::size_t size() const;
 
+  /// Total groups ever created (tracer counter `*.tags_created`).
+  [[nodiscard]] std::uint64_t created() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<TagGroup>, std::less<>> groups_;
+  static constexpr std::size_t kShards = 16;
+
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct TransparentEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<TagGroup>,
+                       TransparentHash, TransparentEq>
+        groups;
+  };
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> created_{0};
 };
 
 }  // namespace evmp

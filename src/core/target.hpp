@@ -93,8 +93,11 @@ class TargetRef {
       block();
       return {};
     }
-    return rt_.invoke_target_block(tname_, exec::Task(std::forward<F>(block)),
-                                   mode, tag);
+    // Forward the callable unerased: the runtime wraps it with the
+    // completion protocol in ONE type erasure, so small captures ride the
+    // Task's inline buffer (pre-erasing here would nest Task-in-Task and
+    // force the wrapper to the heap on every dispatch).
+    return rt_.invoke_target_block(tname_, std::forward<F>(block), mode, tag);
   }
 
   std::vector<exec::TaskHandle> dispatch_batch(

@@ -76,7 +76,7 @@ void EventLoop::invoke_and_wait(exec::Task task) {
     task();
     return;
   }
-  auto state = std::make_shared<exec::CompletionState>();
+  exec::CompletionRef state = exec::CompletionState::make();
   post([state, fn = std::move(task)]() mutable {
     try {
       fn();
@@ -85,7 +85,7 @@ void EventLoop::invoke_and_wait(exec::Task task) {
       state->set_exception(std::current_exception());
     }
   });
-  exec::TaskHandle(state).wait();
+  state->wait();
 }
 
 std::size_t EventLoop::pending() const {
@@ -145,8 +145,7 @@ bool EventLoop::pump_one() {
     std::scoped_lock lk(mu_);
     promote_due_timers_locked(common::now());
     if (queue_.empty()) return false;
-    ev = std::move(queue_.front());
-    queue_.pop_front();
+    ev = queue_.pop_front();
   }
   dispatch(std::move(ev));
   return true;
@@ -171,8 +170,7 @@ void EventLoop::run() {
       }
       continue;
     }
-    QueuedEvent ev = std::move(queue_.front());
-    queue_.pop_front();
+    QueuedEvent ev = queue_.pop_front();
     ++active_handlers_;
     lk.unlock();
     dispatch(std::move(ev));

@@ -16,13 +16,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/stats.hpp"
 #include "executor/completion.hpp"
 #include "executor/executor.hpp"
@@ -144,7 +144,9 @@ class EventLoop final : public exec::Executor {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<QueuedEvent> queue_;
+  // Grow-only ring, not std::deque: the ready queue reaches a high-water
+  // capacity once and then never allocates on the post/dispatch path.
+  common::RingBuffer<QueuedEvent> queue_;
   std::vector<TimedEvent> timers_;  // min-heap by (due, seq)
   std::uint64_t timer_seq_ = 0;
   bool stop_requested_ = false;

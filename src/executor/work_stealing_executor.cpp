@@ -107,8 +107,7 @@ bool WorkStealingExecutor::take_task(int self, Task& out) {
     auto& q = *queues_[static_cast<std::size_t>(self)];
     std::scoped_lock lk(q.mu);
     if (!q.tasks.empty()) {
-      out = std::move(q.tasks.back());
-      q.tasks.pop_back();
+      out = q.tasks.pop_back();
       local_pops_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -122,8 +121,7 @@ bool WorkStealingExecutor::take_task(int self, Task& out) {
     auto& q = *queues_[v];
     std::scoped_lock lk(q.mu);
     if (!q.tasks.empty()) {
-      out = std::move(q.tasks.front());
-      q.tasks.pop_front();
+      out = q.tasks.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }

@@ -13,12 +13,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "executor/executor.hpp"
 
 namespace evmp::exec {
@@ -58,7 +58,10 @@ class WorkStealingExecutor final : public Executor {
  private:
   struct WorkerQueue {
     std::mutex mu;
-    std::deque<Task> tasks;
+    // RingBuffer instead of std::deque: retains its high-water capacity, so
+    // a steady-state deque never allocates (std::deque churns 512 B chunks
+    // as head/tail cross block edges).
+    common::RingBuffer<Task> tasks;
   };
 
   /// Take a task: own deque first (LIFO), then steal (FIFO) starting from

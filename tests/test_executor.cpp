@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -46,6 +47,78 @@ TEST(UniqueFunction, MoveTransfersOwnership) {
   EXPECT_EQ(g(), 1);
 }
 
+// --- small-buffer optimization boundary ---------------------------------
+
+template <std::size_t N>
+struct SizedCallable {
+  unsigned char payload[N];
+  explicit SizedCallable(unsigned char fill) { payload[0] = fill; }
+  int operator()() const { return payload[0]; }
+};
+
+TEST(UniqueFunction, CallableAtCapacityStaysInline) {
+  constexpr auto kCap = UniqueFunction<int()>::kInlineCapacity;
+  UniqueFunction<int()> f = SizedCallable<kCap>(7);
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(UniqueFunction, CallableOverCapacityGoesToHeap) {
+  constexpr auto kCap = UniqueFunction<int()>::kInlineCapacity;
+  UniqueFunction<int()> f = SizedCallable<kCap + 1>(9);
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(UniqueFunction, ThrowingMoveFallsBackToHeap) {
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    int operator()() const { return 3; }
+  };
+  UniqueFunction<int()> f = ThrowingMove{};
+  EXPECT_FALSE(f.is_inline());  // SBO relocation must be noexcept
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(UniqueFunction, InlineMovePreservesCallableState) {
+  // Straddle the boundary from both sides and move repeatedly: the inline
+  // copy must relocate the payload, the heap copy only its pointer.
+  constexpr auto kCap = UniqueFunction<int()>::kInlineCapacity;
+  UniqueFunction<int()> small = SizedCallable<kCap - 8>(21);
+  UniqueFunction<int()> big = SizedCallable<kCap + 8>(42);
+  for (int i = 0; i < 4; ++i) {
+    UniqueFunction<int()> s2 = std::move(small);
+    small = std::move(s2);
+    UniqueFunction<int()> b2 = std::move(big);
+    big = std::move(b2);
+  }
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_FALSE(big.is_inline());
+  EXPECT_EQ(small(), 21);
+  EXPECT_EQ(big(), 42);
+}
+
+TEST(UniqueFunction, DestroysInlineCaptureExactlyOnce) {
+  struct Counter {
+    int* live;
+    explicit Counter(int* p) : live(p) { ++*live; }
+    Counter(const Counter& o) : live(o.live) { ++*live; }
+    Counter(Counter&& o) noexcept : live(o.live) { ++*live; }
+    ~Counter() { --*live; }
+    void operator()() const {}
+  };
+  int live = 0;
+  {
+    UniqueFunction<void()> f = Counter(&live);
+    ASSERT_TRUE(f.is_inline());
+    EXPECT_GE(live, 1);
+    UniqueFunction<void()> g = std::move(f);
+    g();
+  }
+  EXPECT_EQ(live, 0);
+}
+
 TEST(CompletionState, WaitAfterDoneReturnsImmediately) {
   CompletionState s;
   s.set_done();
@@ -77,7 +150,7 @@ TEST(TaskHandle, EmptyHandleIsDone) {
 }
 
 TEST(TaskHandle, CrossThreadWait) {
-  auto state = std::make_shared<CompletionState>();
+  CompletionRef state = CompletionState::make();
   TaskHandle h(state);
   EXPECT_FALSE(h.done());
   std::jthread t([state] {

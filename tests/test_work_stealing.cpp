@@ -78,7 +78,7 @@ TEST(WorkStealing, RecursiveSpawnDoesNotDeadlock) {
   common::CountdownLatch latch(4);
   for (int i = 0; i < 4; ++i) {
     pool.post([&] {
-      auto state = std::make_shared<CompletionState>();
+      CompletionRef state = CompletionState::make();
       pool.post([&, state] {
         leaves.fetch_add(1);
         state->set_done();
