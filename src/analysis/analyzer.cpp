@@ -1,0 +1,451 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace evmp::analysis {
+
+namespace {
+
+using compiler::Directive;
+using Kind = Directive::Kind;
+
+constexpr std::string_view kEdtName = "edt";
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool in_list(const std::vector<std::string>& list, const std::string& name) {
+  return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+// --- E1 / E2: blocking dispatch from a forbidden execution context -------
+
+void check_blocking_context(const DirectiveGraph& graph,
+                            std::vector<Diagnostic>& out) {
+  const auto& nodes = graph.nodes();
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    const RegionNode& node = nodes[static_cast<std::size_t>(i)];
+    if (node.directive.kind != Kind::kTarget ||
+        node.directive.mode != Async::kDefault) {
+      continue;
+    }
+    const int host_index = graph.enclosing_target(i);
+    if (host_index < 0) continue;
+    const std::string host =
+        nodes[static_cast<std::size_t>(host_index)].directive.target_name();
+    const std::string target = node.directive.target_name();
+    if (host.empty() || target.empty()) continue;  // default-target ICV
+    if (host == target) {
+      out.push_back(
+          {"E1", Severity::kError, node.directive.line,
+           "blocking default-mode dispatch to '" + target +
+               "' from a region already running on '" + host +
+               "': a busy serial executor deadlocks on itself — use await, "
+               "nowait, or name_as"});
+    } else if (host == kEdtName) {
+      out.push_back(
+          {"E2", Severity::kError, node.directive.line,
+           "blocking default-mode dispatch to '" + target + "' from the '" +
+               std::string(kEdtName) +
+               "' region blocks the event-dispatch thread (the Figure 1 "
+               "freeze) — use await or nowait"});
+    }
+  }
+}
+
+// --- E3: cyclic blocking chains ------------------------------------------
+
+/// One cross-target blocking dependency: while a thread of `from` runs the
+/// enclosing region, it hard-blocks until `to` makes progress.
+struct BlockingEdge {
+  std::string from;
+  std::string to;
+  int line = 0;
+  std::string why;
+};
+
+std::vector<BlockingEdge> blocking_edges(const DirectiveGraph& graph) {
+  std::vector<BlockingEdge> edges;
+  std::set<std::pair<std::string, std::string>> join_seen;
+  const auto& nodes = graph.nodes();
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    const RegionNode& node = nodes[static_cast<std::size_t>(i)];
+    const int host_index = graph.enclosing_target(i);
+    if (host_index < 0) continue;
+    const std::string host =
+        nodes[static_cast<std::size_t>(host_index)].directive.target_name();
+    if (host.empty()) continue;
+    if (node.directive.kind == Kind::kTarget &&
+        node.directive.mode == Async::kDefault) {
+      const std::string target = node.directive.target_name();
+      if (!target.empty() && target != host) {
+        edges.push_back({host, target, node.directive.line,
+                         "default-mode dispatch"});
+      }
+    } else if (node.directive.kind == Kind::kWait) {
+      // wait(tag) hard-blocks on every name_as(tag) producer's target.
+      // The self-target case is excluded: the waiting member thread pumps
+      // its own queue (wait_tag's help function), so it cannot wedge.
+      for (const RegionNode& producer : nodes) {
+        if (producer.directive.mode != Async::kNameAs ||
+            producer.directive.name_tag != node.directive.wait_tag) {
+          continue;
+        }
+        const std::string target = producer.directive.target_name();
+        if (target.empty() || target == host) continue;
+        if (!join_seen.emplace(host, target).second) continue;
+        edges.push_back({host, target, node.directive.line,
+                         "wait(" + node.directive.wait_tag + ") join"});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Strongly connected components (Tarjan) over the target-name graph.
+std::vector<std::vector<std::string>> components(
+    const std::vector<BlockingEdge>& edges) {
+  std::vector<std::string> names;
+  std::map<std::string, int> ids;
+  auto id_of = [&](const std::string& name) {
+    auto [it, inserted] = ids.emplace(name, static_cast<int>(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+  std::vector<std::vector<int>> adj;
+  for (const BlockingEdge& e : edges) {
+    const int from = id_of(e.from);
+    const int to = id_of(e.to);
+    adj.resize(names.size());
+    adj[static_cast<std::size_t>(from)].push_back(to);
+  }
+  adj.resize(names.size());
+
+  const int n = static_cast<int>(names.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int counter = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<std::size_t>(v)] =
+        low[static_cast<std::size_t>(v)] = counter++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (const int w : adj[static_cast<std::size_t>(v)]) {
+      if (index[static_cast<std::size_t>(w)] < 0) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] = std::min(
+            low[static_cast<std::size_t>(v)], low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)],
+                     index[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+      std::vector<std::string> scc;
+      for (;;) {
+        const int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        scc.push_back(names[static_cast<std::size_t>(w)]);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (index[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+  }
+  return sccs;
+}
+
+void check_blocking_cycles(const DirectiveGraph& graph,
+                           std::vector<Diagnostic>& out) {
+  const std::vector<BlockingEdge> edges = blocking_edges(graph);
+  for (const std::vector<std::string>& scc : components(edges)) {
+    if (scc.size() < 2) continue;  // self-edges are excluded by construction
+    const std::set<std::string> members(scc.begin(), scc.end());
+    std::vector<const BlockingEdge*> internal;
+    for (const BlockingEdge& e : edges) {
+      if (members.count(e.from) != 0 && members.count(e.to) != 0) {
+        internal.push_back(&e);
+      }
+    }
+    std::sort(internal.begin(), internal.end(),
+              [](const BlockingEdge* a, const BlockingEdge* b) {
+                return a->line < b->line;
+              });
+
+    // Best-effort chain for the message: follow internal edges from the
+    // earliest one until the walk closes.
+    std::string chain = internal.front()->from;
+    std::string cursor = internal.front()->from;
+    for (std::size_t step = 0; step <= members.size(); ++step) {
+      const BlockingEdge* next = nullptr;
+      for (const BlockingEdge* e : internal) {
+        if (e->from == cursor) {
+          next = e;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      chain += " -> " + next->to;
+      cursor = next->to;
+      if (cursor == internal.front()->from) break;
+    }
+
+    std::string detail;
+    for (const BlockingEdge* e : internal) {
+      if (!detail.empty()) detail += "; ";
+      detail += "line " + std::to_string(e->line) + ": '" + e->from +
+                "' blocks on '" + e->to + "' via " + e->why;
+    }
+    out.push_back({"E3", Severity::kError, internal.front()->line,
+                   "cyclic blocking chain between virtual targets: " + chain +
+                       " (" + detail + ")"});
+  }
+}
+
+// --- W1: unmatched name_as / wait tags -----------------------------------
+
+void check_tag_pairing(const DirectiveGraph& graph,
+                       std::vector<Diagnostic>& out) {
+  std::map<std::string, int> producers;  // tag -> first name_as line
+  std::map<std::string, int> waits;      // tag -> first wait line
+  for (const RegionNode& node : graph.nodes()) {
+    if (node.directive.mode == Async::kNameAs) {
+      producers.emplace(node.directive.name_tag, node.directive.line);
+    } else if (node.directive.kind == Kind::kWait) {
+      waits.emplace(node.directive.wait_tag, node.directive.line);
+    }
+  }
+  for (const auto& [tag, line] : waits) {
+    if (producers.count(tag) != 0) continue;
+    out.push_back({"W1", Severity::kWarning, line,
+                   "wait(" + tag + ") has no name_as(" + tag +
+                       ") producer in this translation unit — the wait "
+                       "completes immediately"});
+  }
+  for (const auto& [tag, line] : producers) {
+    if (waits.count(tag) != 0) continue;
+    out.push_back({"W1", Severity::kWarning, line,
+                   "name_as tag '" + tag + "' is never joined by wait(" + tag +
+                       ") — the tagged blocks complete unobserved"});
+  }
+}
+
+// --- W2: by-reference loop-variable capture escaping the iteration -------
+
+struct Loop {
+  std::string var;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// Split at top-level (paren/bracket-depth zero) occurrences of `sep`.
+std::vector<std::string> split_top_level(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && (s[i] == '(' || s[i] == '[' || s[i] == '{')) ++depth;
+    if (i < s.size() && (s[i] == ')' || s[i] == ']' || s[i] == '}')) --depth;
+    if (i == s.size() || (s[i] == sep && depth == 0)) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string trailing_identifier(const std::string& text) {
+  std::size_t end = text.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  if (begin == end ||
+      std::isdigit(static_cast<unsigned char>(text[begin])) != 0) {
+    return {};
+  }
+  return text.substr(begin, end - begin);
+}
+
+/// The control variable of a for header: the declared/assigned variable of
+/// the init statement, or the declaration of a range-for.
+std::string loop_var_of(const std::string& header) {
+  std::string decl;
+  const std::vector<std::string> init = split_top_level(header, ';');
+  if (init.size() >= 2) {
+    decl = init[0];
+  } else {
+    // Range-for: split at the first top-level ':' that is not part of '::'.
+    int depth = 0;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      const char c = header[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 0 || c != ':') continue;
+      if ((i + 1 < header.size() && header[i + 1] == ':') ||
+          (i > 0 && header[i - 1] == ':')) {
+        continue;
+      }
+      decl = header.substr(0, i);
+      break;
+    }
+    if (decl.empty()) return {};
+  }
+  const std::size_t assign = [&] {
+    int depth = 0;
+    for (std::size_t i = 0; i < decl.size(); ++i) {
+      const char c = decl[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 0 || c != '=') continue;
+      const bool compare = (i + 1 < decl.size() && decl[i + 1] == '=') ||
+                           (i > 0 && (decl[i - 1] == '=' || decl[i - 1] == '!' ||
+                                      decl[i - 1] == '<' || decl[i - 1] == '>'));
+      if (!compare) return i;
+    }
+    return decl.size();
+  }();
+  return trailing_identifier(decl.substr(0, assign));
+}
+
+std::vector<Loop> find_loops(const compiler::SourceScanner& scanner) {
+  std::vector<Loop> loops;
+  const auto src = scanner.source();
+  for (std::size_t i = 0; i + 3 < src.size(); ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src.compare(i, 3, "for") != 0) continue;
+    if (i > 0 && scanner.at(i - 1) == compiler::CharClass::kCode &&
+        is_ident_char(src[i - 1])) {
+      continue;
+    }
+    if (is_ident_char(src[i + 3])) continue;
+    const auto open = scanner.next_code_char(i + 3);
+    if (!open || src[*open] != '(') continue;
+    int depth = 0;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t j = *open; j < src.size(); ++j) {
+      if (scanner.at(j) != compiler::CharClass::kCode) continue;
+      if (src[j] == '(') ++depth;
+      if (src[j] == ')') {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+    }
+    if (close == std::string_view::npos) continue;
+    Loop loop;
+    loop.var = loop_var_of(std::string(src.substr(*open + 1, close - *open - 1)));
+    try {
+      const compiler::SourceScanner::Block body =
+          scanner.extract_block(close + 1);
+      loop.body_begin = body.begin;
+      loop.body_end = body.end;
+    } catch (const compiler::TranslateError&) {
+      continue;  // not a loop the lint can reason about
+    }
+    if (!loop.var.empty()) loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+bool identifier_used(const compiler::SourceScanner& scanner, std::size_t begin,
+                     std::size_t end, const std::string& name) {
+  const auto src = scanner.source();
+  end = std::min(end, src.size());
+  for (std::size_t i = begin; i + name.size() <= end; ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src.compare(i, name.size(), name) != 0) continue;
+    if (i > begin && scanner.at(i - 1) == compiler::CharClass::kCode &&
+        is_ident_char(src[i - 1])) {
+      continue;
+    }
+    const std::size_t after = i + name.size();
+    if (after < end && scanner.at(after) == compiler::CharClass::kCode &&
+        is_ident_char(src[after])) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void check_loop_captures(const DirectiveGraph& graph,
+                         std::vector<Diagnostic>& out) {
+  const std::vector<Loop> loops = find_loops(graph.scanner());
+  if (loops.empty()) return;
+  for (const RegionNode& node : graph.nodes()) {
+    if (node.directive.kind != Kind::kTarget) continue;
+    if (node.directive.mode != Async::kNowait &&
+        node.directive.mode != Async::kNameAs) {
+      continue;
+    }
+    if (node.directive.default_none) continue;  // no implicit [&] capture
+    std::set<std::string> reported;
+    for (const Loop& loop : loops) {
+      if (node.directive_begin < loop.body_begin ||
+          node.directive_begin >= loop.body_end) {
+        continue;
+      }
+      if (in_list(node.directive.firstprivate, loop.var)) continue;
+      if (!identifier_used(graph.scanner(), node.block_begin, node.block_end,
+                           loop.var)) {
+        continue;
+      }
+      if (!reported.insert(loop.var).second) continue;
+      out.push_back(
+          {"W2", Severity::kWarning, node.directive.line,
+           "loop variable '" + loop.var +
+               "' is captured by reference in this asynchronous region and "
+               "may be read after the iteration advances — add firstprivate(" +
+               loop.var + ")"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze(const DirectiveGraph& graph) {
+  std::vector<Diagnostic> out;
+  check_blocking_context(graph, out);
+  check_blocking_cycles(graph, out);
+  check_tag_pairing(graph, out);
+  check_loop_captures(graph, out);
+  sort_diagnostics(out);
+  return out;
+}
+
+std::vector<Diagnostic> analyze_source(std::string_view source) {
+  try {
+    const DirectiveGraph graph(source);
+    return analyze(graph);
+  } catch (const compiler::TranslateError& e) {
+    // Strip the "line N: " prefix the exception bakes into what(); the
+    // diagnostic carries the line separately.
+    std::string message = e.what();
+    const std::string prefix = "line " + std::to_string(e.line()) + ": ";
+    if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
+    return {{"P1", Severity::kError, e.line(),
+             "directive does not parse: " + message}};
+  }
+}
+
+}  // namespace evmp::analysis

@@ -1,0 +1,43 @@
+#pragma once
+// The evmpcc directive lint: rule passes over a DirectiveGraph.
+//
+// Rules (see DESIGN.md §8):
+//   E1 (error)   blocking default-mode dispatch to a virtual target from a
+//                region already running on that same target — the busy
+//                serial executor deadlocks on itself; the thread-context
+//                fast path in runtime.cpp only saves the *same-thread*
+//                case, not a queued second block.
+//   E2 (error)   blocking default-mode dispatch from the `edt` region —
+//                the paper's Figure 1 freeze.
+//   E3 (error)   cyclic blocking chain between two or more virtual
+//                targets, through default-mode dispatches and/or
+//                wait(tag) joins of name_as producers.
+//   W1 (warning) wait(tag) with no name_as(tag) producer in the TU, and
+//                name_as tags never joined by a wait.
+//   W2 (warning) heuristic: an async (nowait/name_as) region captures the
+//                surrounding loop's control variable by reference — the
+//                region may outlive the iteration; suggest firstprivate.
+//   P1 (error)   a directive the parser rejects (duplicate clauses,
+//                unknown clauses, malformed arguments).
+//
+// `await` dispatches never produce blocking edges: the logical barrier
+// pumps the encountering thread's own queue (Algorithm 1 lines 13-16), so
+// it cannot hard-deadlock a serial executor.
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/directive_graph.hpp"
+
+namespace evmp::analysis {
+
+/// Run every rule pass over an already-built graph. Diagnostics come back
+/// sorted by (line, rule).
+[[nodiscard]] std::vector<Diagnostic> analyze(const DirectiveGraph& graph);
+
+/// Convenience: build the graph and analyze. A TranslateError during the
+/// build becomes a single P1 error diagnostic instead of propagating.
+[[nodiscard]] std::vector<Diagnostic> analyze_source(std::string_view source);
+
+}  // namespace evmp::analysis

@@ -1,0 +1,92 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace evmp::analysis {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) noexcept {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+DiagnosticCounts count(const std::vector<Diagnostic>& diags) {
+  DiagnosticCounts counts;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      ++counts.errors;
+    } else {
+      ++counts.warnings;
+    }
+  }
+  return counts;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+std::string render_text(const std::vector<Diagnostic>& diags,
+                        std::string_view file) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << file << ":" << d.line << ": " << to_string(d.severity) << "["
+        << d.rule << "]: " << d.message << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        std::string_view file) {
+  const DiagnosticCounts counts = count(diags);
+  std::ostringstream out;
+  out << "{\n  \"file\": \"" << json_escape(file) << "\",\n"
+      << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    out << (first ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
+        << "\", \"severity\": \"" << to_string(d.severity)
+        << "\", \"line\": " << d.line << ", \"message\": \""
+        << json_escape(d.message) << "\"}";
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "],\n  \"errors\": " << counts.errors
+      << ",\n  \"warnings\": " << counts.warnings << "\n}\n";
+  return out.str();
+}
+
+}  // namespace evmp::analysis

@@ -1,0 +1,50 @@
+#pragma once
+// Diagnostic model for the evmpcc static analyzer (`--analyze`).
+//
+// A Diagnostic is one finding of the directive lint: a rule id (E1..E3
+// errors, W1/W2 warnings, P1 for unparseable directives), a severity, the
+// 1-based source line (via SourceScanner::line_of) and a human-readable
+// message. Renderers produce the two CLI output formats: compiler-style
+// `file:line: severity[RULE]: message` text and a stable JSON schema for
+// CI tooling.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evmp::analysis {
+
+enum class Severity : unsigned char { kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity severity) noexcept;
+
+/// One analyzer finding, anchored to a source line.
+struct Diagnostic {
+  std::string rule;  ///< "E1".."E3", "W1", "W2", "P1"
+  Severity severity = Severity::kWarning;
+  int line = 0;  ///< 1-based; 0 when the finding has no line anchor
+  std::string message;
+};
+
+struct DiagnosticCounts {
+  int errors = 0;
+  int warnings = 0;
+};
+
+[[nodiscard]] DiagnosticCounts count(const std::vector<Diagnostic>& diags);
+
+/// Stable ordering for output: by line, then rule id.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Compiler-style text, one finding per line:
+///   `<file>:<line>: error[E1]: <message>`
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diags,
+                                      std::string_view file);
+
+/// JSON object:
+///   {"file": "...", "diagnostics": [{"rule": "E1", "severity": "error",
+///    "line": 7, "message": "..."}], "errors": N, "warnings": M}
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags,
+                                      std::string_view file);
+
+}  // namespace evmp::analysis

@@ -1,0 +1,88 @@
+#include "analysis/directive_graph.hpp"
+
+#include <utility>
+
+namespace evmp::analysis {
+
+namespace {
+
+/// Offset one past the closing ')' of the `for (...)` header at/after
+/// `from`. The analyzer needs the loop *body* as the nesting scope of a
+/// parallel-for directive; extract_block on the whole statement would trip
+/// over the header's semicolons.
+std::size_t skip_for_header(const compiler::SourceScanner& scanner,
+                            std::size_t from, int line) {
+  const auto src = scanner.source();
+  const auto start = scanner.next_code_char(from);
+  if (!start || src.substr(*start, 3) != "for") {
+    throw compiler::TranslateError(
+        line, "'parallel for' directive must precede a for loop");
+  }
+  const auto open = scanner.next_code_char(*start + 3);
+  if (!open || src[*open] != '(') {
+    throw compiler::TranslateError(line, "malformed for loop after directive");
+  }
+  int depth = 0;
+  for (std::size_t i = *open; i < src.size(); ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src[i] == '(') ++depth;
+    if (src[i] == ')') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  throw compiler::TranslateError(line, "unbalanced '(' in for loop header");
+}
+
+}  // namespace
+
+DirectiveGraph::DirectiveGraph(std::string_view source) : scanner_(source) {
+  // One absolute-offset scan; a stack of open structured blocks gives each
+  // directive its lexically enclosing directive.
+  std::vector<std::pair<int, std::size_t>> open;  // (node index, block end)
+  std::size_t pos = 0;
+  while (auto m = scanner_.find_directive(pos)) {
+    while (!open.empty() && open.back().second <= m->begin) open.pop_back();
+
+    RegionNode node;
+    node.directive = compiler::parse_directive(m->text, m->line);
+    node.parent = open.empty() ? -1 : open.back().first;
+    node.directive_begin = m->begin;
+    pos = m->end;
+
+    if (node.directive.kind == compiler::Directive::Kind::kWait) {
+      nodes_.push_back(std::move(node));
+      continue;
+    }
+
+    std::size_t block_from = m->end;
+    if (node.directive.kind == compiler::Directive::Kind::kParallelFor) {
+      block_from = skip_for_header(scanner_, m->end, m->line);
+    }
+    const compiler::SourceScanner::Block block =
+        scanner_.extract_block(block_from);
+    node.block_begin = block.begin;
+    node.block_end = block.end;
+
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    open.emplace_back(index, block.end);
+  }
+}
+
+int DirectiveGraph::enclosing_target(int node) const {
+  using Kind = compiler::Directive::Kind;
+  int walk = nodes_[static_cast<std::size_t>(node)].parent;
+  while (walk >= 0) {
+    const RegionNode& ancestor = nodes_[static_cast<std::size_t>(walk)];
+    if (ancestor.directive.kind == Kind::kTarget) return walk;
+    if (ancestor.directive.kind == Kind::kParallel ||
+        ancestor.directive.kind == Kind::kParallelFor) {
+      return -1;
+    }
+    walk = ancestor.parent;
+  }
+  return -1;
+}
+
+}  // namespace evmp::analysis

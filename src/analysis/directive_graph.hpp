@@ -1,0 +1,55 @@
+#pragma once
+// The static-analysis substrate: every directive occurrence in one
+// translation unit, with its lexical nesting.
+//
+// Nodes are parsed directives (target regions with their virtual-target
+// name and async mode, standalone waits, traditional parallel regions);
+// the parent edges are lexical containment in the directive's structured
+// block. Rule passes (analyzer.cpp) layer the semantic edges — blocking
+// default-mode dispatches and name_as -> wait(tag) joins — on top of this.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "compilerlib/directive.hpp"
+#include "compilerlib/source_scanner.hpp"
+
+namespace evmp::analysis {
+
+/// One directive occurrence and its structured block, if any.
+struct RegionNode {
+  compiler::Directive directive;
+  int parent = -1;                  ///< index of the enclosing node, or -1
+  std::size_t directive_begin = 0;  ///< byte offset of the directive marker
+  std::size_t block_begin = 0;      ///< structured block [begin, end);
+  std::size_t block_end = 0;        ///< 0,0 for the standalone wait
+};
+
+/// Lexical directive graph of one source buffer. The buffer must outlive
+/// the graph (the scanner keeps a view into it).
+class DirectiveGraph {
+ public:
+  /// Scans and parses every directive. Throws compiler::TranslateError on
+  /// malformed directives or unextractable structured blocks.
+  explicit DirectiveGraph(std::string_view source);
+
+  [[nodiscard]] const std::vector<RegionNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const compiler::SourceScanner& scanner() const noexcept {
+    return scanner_;
+  }
+
+  /// Nearest enclosing *target-region* ancestor of `node`, or -1. A
+  /// traditional parallel/parallel-for ancestor stops the walk: its team
+  /// threads are not the enclosing target's thread, so the execution
+  /// context is no longer that executor.
+  [[nodiscard]] int enclosing_target(int node) const;
+
+ private:
+  compiler::SourceScanner scanner_;
+  std::vector<RegionNode> nodes_;
+};
+
+}  // namespace evmp::analysis

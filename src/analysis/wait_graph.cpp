@@ -1,0 +1,175 @@
+#include "analysis/wait_graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/tracing.hpp"
+
+namespace evmp::analysis {
+
+WaitGraph::WaitGraph(std::chrono::milliseconds timeout) : timeout_(timeout) {}
+
+WaitGraph* WaitGraph::global() {
+  static WaitGraph* const graph = []() -> WaitGraph* {
+    if (!common::env_bool("EVMP_VERIFY").value_or(false)) return nullptr;
+    const long ms = common::env_long("EVMP_VERIFY_TIMEOUT_MS").value_or(0);
+    return new WaitGraph(std::chrono::milliseconds(ms < 0 ? 0 : ms));
+  }();
+  return graph;
+}
+
+std::uint64_t WaitGraph::add_wait(const Waiter& from, const std::string& to,
+                                  std::size_t to_pending, const char* what,
+                                  bool hard) {
+  std::uint64_t id = 0;
+  std::string report;
+  {
+    std::scoped_lock lk(mu_);
+    NodeState& origin = nodes_[from.name];
+    origin.concurrency = from.concurrency;
+    if (hard) ++origin.blocked;
+    nodes_.try_emplace(to);
+    id = next_id_++;
+    edges_.push_back({id, from.name, to, to_pending, what, hard});
+    // Only a newly saturated origin can close a cycle: every cycle needs
+    // all of its executors fully blocked, and this insertion is the only
+    // state change since the last check.
+    if (hard && saturated_locked(from.name)) {
+      std::vector<const Edge*> path;
+      std::vector<std::string> visited;
+      if (find_cycle_locked(from.name, from.name, path, visited)) {
+        report = report_cycle_locked(path);
+      }
+    }
+  }
+  if (!report.empty()) fail(report);
+  return id;
+}
+
+void WaitGraph::remove_wait(std::uint64_t id) {
+  std::scoped_lock lk(mu_);
+  const auto it =
+      std::find_if(edges_.begin(), edges_.end(),
+                   [id](const Edge& e) { return e.id == id; });
+  if (it == edges_.end()) return;
+  if (it->hard) {
+    NodeState& origin = nodes_[it->from];
+    if (origin.blocked > 0) --origin.blocked;
+  }
+  edges_.erase(it);
+}
+
+bool WaitGraph::saturated_locked(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return false;
+  return it->second.concurrency > 0 &&
+         it->second.blocked >= it->second.concurrency;
+}
+
+bool WaitGraph::find_cycle_locked(const std::string& origin,
+                                  const std::string& start,
+                                  std::vector<const Edge*>& path,
+                                  std::vector<std::string>& visited) const {
+  for (const Edge& e : edges_) {
+    if (e.from != start) continue;
+    if (e.to == origin) {
+      path.push_back(&e);
+      return true;
+    }
+    if (std::find(visited.begin(), visited.end(), e.to) != visited.end()) {
+      continue;
+    }
+    visited.push_back(e.to);
+    // A cycle is a deadlock only if every executor on it is saturated:
+    // one free (or pumping) thread anywhere on the chain can drain it.
+    if (!saturated_locked(e.to)) continue;
+    path.push_back(&e);
+    if (find_cycle_locked(origin, e.to, path, visited)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+std::string WaitGraph::describe_locked() const {
+  std::ostringstream out;
+  for (const Edge& e : edges_) {
+    const auto it = nodes_.find(e.from);
+    out << "  '" << e.from << "'";
+    if (it != nodes_.end() && it->second.concurrency > 0) {
+      out << " (" << it->second.blocked << "/" << it->second.concurrency
+          << " threads blocked)";
+    }
+    out << (e.hard ? " waits on '" : " pumps while awaiting '") << e.to
+        << "' via " << e.what << " (pending=" << e.pending << ")\n";
+  }
+  return out.str();
+}
+
+std::string WaitGraph::report_cycle_locked(
+    const std::vector<const Edge*>& cycle) const {
+  std::ostringstream out;
+  out << "EVMP_VERIFY: deadlock detected — blocking wait cycle:\n";
+  std::string chain = cycle.empty() ? std::string{} : cycle.front()->from;
+  for (const Edge* e : cycle) {
+    chain += " -> " + e->to;
+    out << "  '" << e->from << "' waits on '" << e->to << "' via " << e->what
+        << " (pending=" << e->pending << ")\n";
+  }
+  out << "cycle: " << chain << "\n";
+  out << "wait-for graph:\n" << describe_locked();
+  out << "tracer counters:\n";
+  for (const auto& [name, value] : common::Tracer::instance().counters()) {
+    out << "  " << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+void WaitGraph::fail_timeout(const Waiter& from, const std::string& to,
+                             const char* what) {
+  std::string report;
+  {
+    std::scoped_lock lk(mu_);
+    std::ostringstream out;
+    out << "EVMP_VERIFY: wait timeout after " << timeout_.count() << " ms — '"
+        << from.name << "' still blocked on '" << to << "' via " << what
+        << "\n";
+    out << "wait-for graph:\n" << describe_locked();
+    out << "tracer counters:\n";
+    for (const auto& [name, value] : common::Tracer::instance().counters()) {
+      out << "  " << name << "=" << value << "\n";
+    }
+    report = out.str();
+  }
+  fail(report);
+}
+
+void WaitGraph::set_failure_handler(
+    std::function<void(const std::string&)> handler) {
+  std::scoped_lock lk(mu_);
+  handler_ = std::move(handler);
+}
+
+std::string WaitGraph::describe() const {
+  std::scoped_lock lk(mu_);
+  return describe_locked();
+}
+
+void WaitGraph::fail(const std::string& report) {
+  std::function<void(const std::string&)> handler;
+  {
+    std::scoped_lock lk(mu_);
+    handler = handler_;
+  }
+  if (handler) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace evmp::analysis

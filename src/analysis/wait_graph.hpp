@@ -1,0 +1,123 @@
+#pragma once
+// EVMP_VERIFY: the runtime wait-for-graph deadlock verifier.
+//
+// When the environment variable EVMP_VERIFY is truthy, the runtime records
+// every *hard* blocking wait as an edge in a process-wide graph: a thread
+// of executor A (or an external thread) is blocked until executor B — or a
+// name_as tag group — makes progress. On each hard-edge insertion the
+// graph runs a cycle search; a cycle through *saturated* executors (every
+// serving thread blocked) is a real deadlock, and the verifier prints the
+// full blocking chain — executor names, per-edge pending-task counts, the
+// tracer's counters — then aborts, turning a silent hang into a report.
+//
+// `await` barriers from member threads are recorded as *soft* edges: the
+// waiting thread keeps pumping its own queue (Algorithm 1), so it does not
+// wedge its executor. Soft edges appear in reports but never saturate a
+// node. EVMP_VERIFY_TIMEOUT_MS additionally arms a watchdog on every
+// instrumented wait for hangs a wait-for cycle cannot express (e.g. a
+// pump-starved tag join).
+//
+// Cost when disabled: WaitGraph::global() is a single static pointer load
+// returning nullptr; no edge is ever recorded. This library deliberately
+// depends only on evmp_common — the runtime hands in plain names and
+// counts, so core does not pull the compiler-side analysis code.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace evmp::analysis {
+
+class WaitGraph {
+ public:
+  /// The blocking side of an edge. `concurrency` is the number of threads
+  /// serving the named executor; 0 marks a non-executor waiter (external
+  /// thread), which can never saturate.
+  struct Waiter {
+    std::string name;
+    std::size_t concurrency = 0;
+  };
+
+  explicit WaitGraph(std::chrono::milliseconds timeout = {});
+
+  /// Process-wide verifier, or nullptr when EVMP_VERIFY is off. The
+  /// instance is created on first use and intentionally leaked (executor
+  /// threads may still record waits during static teardown).
+  static WaitGraph* global();
+
+  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept {
+    return timeout_;
+  }
+
+  /// Record that a thread of `from` blocks until `to` makes progress.
+  /// `hard` waits count toward saturation and trigger the cycle search;
+  /// soft waits (pumping awaits) are informational. Returns the edge id
+  /// for remove_wait. Deadlock detection reports via fail().
+  std::uint64_t add_wait(const Waiter& from, const std::string& to,
+                         std::size_t to_pending, const char* what, bool hard);
+  void remove_wait(std::uint64_t id);
+
+  /// Watchdog escalation from an instrumented wait that exceeded
+  /// timeout(). Renders the whole graph and fails.
+  void fail_timeout(const Waiter& from, const std::string& to,
+                    const char* what);
+
+  /// Test hook: route failure reports here instead of stderr + abort().
+  void set_failure_handler(std::function<void(const std::string&)> handler);
+
+  /// Human-readable dump of the current edges (diagnostics, tests).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Edge {
+    std::uint64_t id = 0;
+    std::string from;
+    std::string to;
+    std::size_t pending = 0;
+    const char* what = "";
+    bool hard = false;
+  };
+  struct NodeState {
+    std::size_t blocked = 0;      ///< hard-blocked waiter threads
+    std::size_t concurrency = 0;  ///< 0 = not an executor
+  };
+
+  [[nodiscard]] bool saturated_locked(const std::string& node) const;
+  bool find_cycle_locked(const std::string& origin, const std::string& start,
+                         std::vector<const Edge*>& path,
+                         std::vector<std::string>& visited) const;
+  [[nodiscard]] std::string describe_locked() const;
+  [[nodiscard]] std::string report_cycle_locked(
+      const std::vector<const Edge*>& cycle) const;
+  void fail(const std::string& report);
+
+  mutable std::mutex mu_;
+  std::vector<Edge> edges_;
+  std::map<std::string, NodeState> nodes_;
+  std::uint64_t next_id_ = 1;
+  std::chrono::milliseconds timeout_{0};
+  std::function<void(const std::string&)> handler_;
+};
+
+/// RAII edge registration around one blocking wait.
+class WaitScope {
+ public:
+  WaitScope(WaitGraph& graph, const WaitGraph::Waiter& from, std::string to,
+            std::size_t to_pending, const char* what, bool hard)
+      : graph_(&graph),
+        id_(graph.add_wait(from, std::move(to), to_pending, what, hard)) {}
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+  ~WaitScope() { graph_->remove_wait(id_); }
+
+ private:
+  WaitGraph* graph_;
+  std::uint64_t id_;
+};
+
+}  // namespace evmp::analysis

@@ -131,6 +131,10 @@ Directive parse_directive(const std::string& text, int line) {
     } else {
       pending_clause = next;  // already-read first clause name (may be "")
     }
+    bool have_schedule = false;
+    bool have_num_threads = false;
+    bool have_if = false;
+    bool have_default = false;
     while (true) {
       std::string clause;
       if (!pending_clause.empty()) {
@@ -147,6 +151,8 @@ Directive parse_directive(const std::string& text, int line) {
         if (d.kind != Directive::Kind::kParallelFor) {
           cur.fail("schedule clause requires 'parallel for'");
         }
+        if (have_schedule) cur.fail("duplicate schedule clause");
+        have_schedule = true;
         auto arg = cur.paren_arg();
         if (!arg) cur.fail("schedule clause requires (kind[, chunk])");
         auto parts = split_list(*arg);
@@ -159,6 +165,8 @@ Directive parse_directive(const std::string& text, int line) {
         if (parts.size() > 1) d.schedule_chunk = parts[1];
         if (parts.size() > 2) cur.fail("schedule clause takes at most chunk");
       } else if (clause == "num_threads") {
+        if (have_num_threads) cur.fail("duplicate num_threads clause");
+        have_num_threads = true;
         auto arg = cur.paren_arg();
         if (!arg || trim(*arg).empty()) {
           cur.fail("num_threads clause requires (expression)");
@@ -192,12 +200,16 @@ Directive parse_directive(const std::string& text, int line) {
         if (!arg) cur.fail("firstprivate clause requires (list)");
         for (auto& v : split_list(*arg)) d.firstprivate.push_back(v);
       } else if (clause == "if") {
+        if (have_if) cur.fail("duplicate if clause");
+        have_if = true;
         auto cond = cur.paren_arg();
         if (!cond || trim(*cond).empty()) {
           cur.fail("if clause requires (expression)");
         }
         d.if_condition = trim(*cond);
       } else if (clause == "default") {
+        if (have_default) cur.fail("duplicate default clause");
+        have_default = true;
         auto arg = cur.paren_arg();
         if (!arg) cur.fail("default clause requires (shared|none)");
         const std::string v = trim(*arg);
@@ -220,6 +232,8 @@ Directive parse_directive(const std::string& text, int line) {
 
   bool have_target_property = false;
   bool have_scheduling = false;
+  bool have_if = false;
+  bool have_default = false;
   while (!cur.at_end()) {
     const std::string clause = cur.ident();
     if (clause.empty()) cur.fail("malformed clause");
@@ -260,12 +274,16 @@ Directive parse_directive(const std::string& text, int line) {
         d.name_tag = trim(*tag);
       }
     } else if (clause == "if") {
+      if (have_if) cur.fail("duplicate if clause");
+      have_if = true;
       auto cond = cur.paren_arg();
       if (!cond || trim(*cond).empty()) {
         cur.fail("if clause requires (expression)");
       }
       d.if_condition = trim(*cond);
     } else if (clause == "default") {
+      if (have_default) cur.fail("duplicate default clause");
+      have_default = true;
       auto arg = cur.paren_arg();
       if (!arg) cur.fail("default clause requires (shared|none)");
       const std::string v = trim(*arg);

@@ -1,11 +1,31 @@
 #include "core/runtime.hpp"
 
 #include <chrono>
+#include <optional>
+#include <sstream>
+#include <thread>
 
+#include "analysis/wait_graph.hpp"
 #include "common/tracing.hpp"
 #include "core/target.hpp"
 
 namespace evmp {
+
+namespace {
+
+/// Wait-for-graph identity of the calling thread: its executor (with the
+/// concurrency that decides saturation) or a synthetic external node that
+/// can never be blocked *on* and therefore never joins a cycle.
+analysis::WaitGraph::Waiter current_waiter() {
+  if (exec::Executor* self = exec::Executor::current()) {
+    return {std::string(self->name()), self->concurrency()};
+  }
+  std::ostringstream name;
+  name << "external:" << std::this_thread::get_id();
+  return {name.str(), 0};
+}
+
+}  // namespace
 
 Runtime::Runtime() = default;
 
@@ -133,7 +153,8 @@ Runtime::DispatchPlan Runtime::plan_dispatch(std::string_view tname,
 }
 
 exec::TaskHandle Runtime::finish_dispatch(exec::CompletionRef state,
-                                          Async mode) {
+                                          Async mode,
+                                          exec::Executor* executor) {
   stats_.posted.fetch_add(1, std::memory_order_relaxed);
   switch (mode) {
     case Async::kNowait:
@@ -142,15 +163,37 @@ exec::TaskHandle Runtime::finish_dispatch(exec::CompletionRef state,
       return exec::TaskHandle(std::move(state));
     case Async::kAwait:
       // Lines 13-16: logical barrier.
-      await_completion(state);
+      await_completion(state, executor);
       return exec::TaskHandle(std::move(state));
     case Async::kDefault:
       // Line 17: plain wait (standard `target` behaviour).
       stats_.default_waits.fetch_add(1, std::memory_order_relaxed);
-      state->wait();
+      verified_wait(state, *executor);
       return exec::TaskHandle(std::move(state));
   }
   return exec::TaskHandle(std::move(state));  // unreachable
+}
+
+void Runtime::verified_wait(const exec::CompletionRef& state,
+                            exec::Executor& target) {
+  analysis::WaitGraph* graph = analysis::WaitGraph::global();
+  if (graph == nullptr) {
+    state->wait();
+    return;
+  }
+  const analysis::WaitGraph::Waiter self = current_waiter();
+  const char* what = "default-mode dispatch";
+  const std::string to(target.name());
+  analysis::WaitScope scope(*graph, self, to, target.pending(), what,
+                            /*hard=*/true);
+  if (graph->timeout().count() <= 0) {
+    state->wait();
+    return;
+  }
+  if (!state->wait_for(graph->timeout())) {
+    graph->fail_timeout(self, to, what);
+    state->wait();  // reached only when a test handler swallowed the report
+  }
 }
 
 std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
@@ -203,23 +246,51 @@ std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
     case Async::kNameAs:
       return handles;
     case Async::kAwait:
-      for (const auto& handle : handles) await_completion(handle.state());
+      for (const auto& handle : handles) {
+        await_completion(handle.state(), &executor);
+      }
       return handles;
     case Async::kDefault:
       stats_.default_waits.fetch_add(handles.size(),
                                      std::memory_order_relaxed);
-      for (const auto& handle : handles) handle.wait();
+      for (const auto& handle : handles) {
+        verified_wait(handle.state(), executor);
+      }
       return handles;
   }
   return handles;  // unreachable
 }
 
-void Runtime::await_completion(const exec::CompletionRef& state) {
+void Runtime::await_completion(const exec::CompletionRef& state,
+                               exec::Executor* target) {
   stats_.awaits.fetch_add(1, std::memory_order_relaxed);
   exec::Executor* self = exec::Executor::current();
+
+  // EVMP_VERIFY: record the barrier in the wait-for graph. From a member
+  // thread the edge is *soft* — the pump below keeps this executor live,
+  // so the wait cannot saturate it — but a foreign thread parks for real.
+  analysis::WaitGraph* graph = analysis::WaitGraph::global();
+  std::optional<analysis::WaitScope> scope;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  analysis::WaitGraph::Waiter waiter;
+  std::string to;
+  const char* what = "await logical barrier";
+  if (graph != nullptr) {
+    waiter = current_waiter();
+    to = target != nullptr ? std::string(target->name()) : "<completion>";
+    scope.emplace(*graph, waiter, to, target != nullptr ? target->pending() : 0,
+                  what, /*hard=*/self == nullptr);
+    if (graph->timeout().count() > 0) {
+      deadline = std::chrono::steady_clock::now() + graph->timeout();
+    }
+  }
+
   if (self == nullptr) {
     // Foreign thread: nothing to pump, so park on the completion futex and
     // wake exactly when the block finishes (no polling quantum).
+    if (deadline && !state->wait_for(graph->timeout())) {
+      graph->fail_timeout(waiter, to, what);
+    }
     state->wait();
     state->rethrow_if_error();
     return;
@@ -236,6 +307,10 @@ void Runtime::await_completion(const exec::CompletionRef& state) {
     // Nothing pending right now: block briefly instead of busy-spinning,
     // then re-check both conditions.
     state->wait_for(std::chrono::microseconds{200});
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      graph->fail_timeout(waiter, to, what);
+      deadline.reset();  // test handlers swallow the report; don't re-fire
+    }
   }
   if (pumped != 0) {
     stats_.await_pumped.fetch_add(pumped, std::memory_order_relaxed);
@@ -252,7 +327,35 @@ void Runtime::wait_tag(std::string_view tag) {
   exec::Executor* self = exec::Executor::current();
   std::function<bool()> help;
   if (self != nullptr) help = [self] { return self->try_run_one(); };
-  tags_.group(tag).wait(help);
+  TagGroup& group = tags_.group(tag);
+
+  analysis::WaitGraph* graph = analysis::WaitGraph::global();
+  if (graph == nullptr) {
+    group.wait(help);
+    return;
+  }
+  // Tag nodes never have outgoing edges, so they cannot sit on a wait-for
+  // cycle themselves; a member thread's join is soft (it pumps), a foreign
+  // thread's join is hard. The timeout watchdog rides the help callback.
+  const analysis::WaitGraph::Waiter waiter = current_waiter();
+  const std::string to = "tag:" + std::string(tag);
+  const char* what = "wait(name-tag)";
+  const auto in_flight = group.in_flight();
+  analysis::WaitScope scope(
+      *graph, waiter, to,
+      in_flight > 0 ? static_cast<std::size_t>(in_flight) : 0, what,
+      /*hard=*/self == nullptr);
+  if (graph->timeout().count() > 0) {
+    const auto deadline = std::chrono::steady_clock::now() + graph->timeout();
+    std::function<bool()> inner = std::move(help);
+    help = [graph, waiter, to, what, deadline, inner] {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        graph->fail_timeout(waiter, to, what);
+      }
+      return inner && inner();
+    };
+  }
+  group.wait(help);
 }
 
 TargetRef Runtime::target(std::string tname) {

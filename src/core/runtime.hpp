@@ -156,7 +156,7 @@ class Runtime {
          fn = std::forward<F>(block)]() mutable {
           run_dispatched_block(fn, state, group, ex, report);
         }));
-    return finish_dispatch(std::move(plan.state), mode);
+    return finish_dispatch(std::move(plan.state), mode, plan.executor);
   }
 
   /// Batched Algorithm 1: dispatch a burst of target blocks to one virtual
@@ -219,8 +219,10 @@ class Runtime {
   DispatchPlan plan_dispatch(std::string_view tname, Async mode,
                              std::string_view tag);
 
-  /// Post-submission bookkeeping + per-mode join (lines 10-17).
-  exec::TaskHandle finish_dispatch(exec::CompletionRef state, Async mode);
+  /// Post-submission bookkeeping + per-mode join (lines 10-17). `executor`
+  /// is the dispatch target (for the EVMP_VERIFY wait-for graph).
+  exec::TaskHandle finish_dispatch(exec::CompletionRef state, Async mode,
+                                   exec::Executor* executor);
 
   /// The completion protocol every dispatched block runs under; shared by
   /// the single and batch paths.
@@ -244,8 +246,16 @@ class Runtime {
     }
   }
 
-  /// The `await` logical barrier (Algorithm 1 lines 13-16).
-  void await_completion(const exec::CompletionRef& state);
+  /// The `await` logical barrier (Algorithm 1 lines 13-16). `target` is
+  /// the executor the completion belongs to, when known (EVMP_VERIFY edge
+  /// attribution; the barrier itself never needs it).
+  void await_completion(const exec::CompletionRef& state,
+                        exec::Executor* target = nullptr);
+
+  /// A kDefault hard wait, instrumented for the EVMP_VERIFY wait-for
+  /// graph. With verification off this is exactly state->wait().
+  void verified_wait(const exec::CompletionRef& state,
+                     exec::Executor& target);
 
   struct TargetEntry {
     exec::Executor* executor = nullptr;        // non-owning view

@@ -1,0 +1,17 @@
+// Fixture: clean — await barriers, matched name_as/wait tags, and
+// firstprivate loop captures; the lint must stay silent here.
+#include <cstdio>
+
+void good(int n) {
+  for (int job = 0; job < n; ++job) {
+    //#omp target virtual(worker) name_as(jobs) firstprivate(job)
+    {
+      std::printf("job %d\n", job);
+    }
+  }
+  //#omp wait(jobs)
+  //#omp target virtual(edt) await
+  {
+    std::printf("publish\n");
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture: E1 — blocking default-mode dispatch from a region already
+// running on the same serial executor (self-deadlock when busy).
+#include <cstdio>
+
+void pipeline() {
+  //#omp target virtual(worker) nowait
+  {
+    std::printf("outer block on worker\n");
+    //#omp target virtual(worker)
+    {
+      std::printf("inner blocking dispatch\n");
+    }
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture: E2 — blocking default-mode dispatch from the edt region
+// freezes the event-dispatch thread (paper Figure 1).
+#include <cstdio>
+
+void on_click() {
+  //#omp target virtual(edt) nowait
+  {
+    //#omp target virtual(worker)
+    {
+      std::printf("long work while the EDT blocks\n");
+    }
+  }
+}

@@ -1,0 +1,20 @@
+// Fixture: E3 — cyclic blocking chain between two serial virtual
+// targets: alpha blocks on beta while beta blocks on alpha.
+#include <cstdio>
+
+void cross_block() {
+  //#omp target virtual(alpha) nowait
+  {
+    //#omp target virtual(beta)
+    {
+      std::printf("alpha waits for beta\n");
+    }
+  }
+  //#omp target virtual(beta) nowait
+  {
+    //#omp target virtual(alpha)
+    {
+      std::printf("beta waits for alpha\n");
+    }
+  }
+}

@@ -1,0 +1,7 @@
+// Fixture: P1 — a directive the parser rejects (duplicate
+// scheduling-property clauses); also exercises translate exit code 3.
+void bad() {
+  //#omp target virtual(worker) nowait await
+  {
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: W1 — a name_as tag that is never joined, and a wait() with
+// no producer anywhere in the translation unit.
+#include <cstdio>
+
+void tags() {
+  //#omp target virtual(worker) name_as(produced)
+  {
+    std::printf("tagged block nobody joins\n");
+  }
+  //#omp wait(consumed)
+}

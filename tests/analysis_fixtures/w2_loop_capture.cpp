@@ -1,0 +1,12 @@
+// Fixture: W2 — the loop control variable is captured by reference by
+// an asynchronous region that can outlive the iteration.
+#include <cstdio>
+
+void fan_out(int n) {
+  for (int job = 0; job < n; ++job) {
+    //#omp target virtual(worker) nowait
+    {
+      std::printf("job %d\n", job);
+    }
+  }
+}

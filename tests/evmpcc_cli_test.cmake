@@ -1,0 +1,82 @@
+# CLI contract test for evmpcc, run as a CTest script:
+#   cmake -DEVMPCC=<binary> -DFIXTURES=<dir> -DWORKDIR=<dir> -P this_file
+#
+# Exit-code contract (documented in tools/evmpcc_main.cpp):
+#   0 success, 1 file I/O error, 2 usage error, 3 translate error,
+#   4 analysis gate failure.
+
+function(run_evmpcc expect_code)
+  execute_process(
+    COMMAND ${EVMPCC} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR "evmpcc ${ARGN}: expected exit ${expect_code}, "
+                        "got ${code}\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains haystack needle context)
+  if(NOT "${${haystack}}" MATCHES "${needle}")
+    message(FATAL_ERROR "${context}: expected match for '${needle}' in:\n"
+                        "${${haystack}}")
+  endif()
+endfunction()
+
+# --version reports the tool and exits 0.
+run_evmpcc(0 --version)
+expect_contains(out "evmpcc" "--version")
+
+# --help goes to stdout and exits 0.
+run_evmpcc(0 --help)
+expect_contains(out "usage:" "--help")
+
+# No input file is a usage error.
+run_evmpcc(2)
+
+# Dangling option arguments are explicit usage errors.
+run_evmpcc(2 -o)
+expect_contains(err "requires an argument" "-o without value")
+run_evmpcc(2 --runtime)
+expect_contains(err "requires an argument" "--runtime without value")
+
+# Unknown flags are usage errors.
+run_evmpcc(2 --frobnicate ${FIXTURES}/clean_pipeline.cpp)
+
+# A malformed directive is a translate error (exit 3) without --analyze...
+run_evmpcc(3 ${FIXTURES}/p1_malformed.cpp -o ${WORKDIR}/p1_out.cpp)
+expect_contains(err "line 4" "translate error line anchor")
+
+# ...and an analysis gate failure (exit 4) with it.
+run_evmpcc(4 --analyze-only ${FIXTURES}/p1_malformed.cpp)
+expect_contains(err "P1" "p1 analyze")
+
+# The clean fixture passes the strictest gate.
+run_evmpcc(0 --analyze-only --Werror ${FIXTURES}/clean_pipeline.cpp)
+
+# Errors always gate; warnings gate only under --Werror.
+run_evmpcc(4 --analyze-only ${FIXTURES}/e1_self_blocking.cpp)
+expect_contains(err "error\\[E1\\]" "e1 analyze")
+run_evmpcc(0 --analyze-only ${FIXTURES}/w2_loop_capture.cpp)
+expect_contains(err "warning\\[W2\\]" "w2 analyze")
+run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/w2_loop_capture.cpp)
+expect_contains(err "--Werror" "w2 Werror gate message")
+
+# JSON diagnostics go to stdout with the documented schema.
+run_evmpcc(4 --analyze-only --diag-format=json ${FIXTURES}/e1_self_blocking.cpp)
+expect_contains(out "\"rule\": \"E1\"" "json rule")
+expect_contains(out "\"severity\": \"error\"" "json severity")
+expect_contains(out "\"line\": 9" "json line")
+expect_contains(out "\"errors\": 1" "json error count")
+
+# --analyze (without -only) still translates when the gate passes.
+run_evmpcc(0 --analyze --Werror ${FIXTURES}/clean_pipeline.cpp
+           -o ${WORKDIR}/clean_out.cpp)
+if(NOT EXISTS ${WORKDIR}/clean_out.cpp)
+  message(FATAL_ERROR "--analyze did not produce the translated output")
+endif()
+
+message(STATUS "evmpcc CLI contract: all checks passed")

@@ -1,0 +1,490 @@
+// The analysis subsystem: the evmpcc static directive lint (DirectiveGraph
+// + rule passes E1-E3/W1-W2/P1, text/JSON renderers) and the EVMP_VERIFY
+// runtime wait-for-graph verifier (cycle detection, saturation semantics,
+// abort-on-deadlock instead of a silent hang).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/diagnostic.hpp"
+#include "analysis/directive_graph.hpp"
+#include "analysis/wait_graph.hpp"
+#include "core/runtime.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EVMP_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define EVMP_TSAN 1
+#endif
+
+namespace {
+
+using evmp::analysis::Diagnostic;
+using evmp::analysis::DirectiveGraph;
+using evmp::analysis::Severity;
+using evmp::analysis::WaitGraph;
+
+std::vector<Diagnostic> run(std::string_view source) {
+  return evmp::analysis::analyze_source(source);
+}
+
+const Diagnostic* find_rule(const std::vector<Diagnostic>& diags,
+                            const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- DirectiveGraph structure --------------------------------------------
+
+TEST(DirectiveGraph, TracksLexicalNesting) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(outer) nowait
+{
+  int x = 0;
+  //#omp target virtual(inner) nowait
+  { x++; }
+  //#omp wait(t)
+}
+//#omp target virtual(sibling) nowait
+{ }
+)");
+  ASSERT_EQ(graph.nodes().size(), 4u);
+  EXPECT_EQ(graph.nodes()[0].parent, -1);
+  EXPECT_EQ(graph.nodes()[1].parent, 0);  // inner is inside outer
+  EXPECT_EQ(graph.nodes()[2].parent, 0);  // the wait too
+  EXPECT_EQ(graph.nodes()[3].parent, -1);  // sibling closed outer's block
+  EXPECT_EQ(graph.enclosing_target(1), 0);
+  EXPECT_EQ(graph.enclosing_target(3), -1);
+}
+
+TEST(DirectiveGraph, ParallelRegionResetsTargetContext) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(worker) nowait
+{
+  #pragma omp parallel for
+  for (int i = 0; i < 4; ++i) {
+    //#omp target virtual(worker)
+    { work(i); }
+  }
+}
+)");
+  ASSERT_EQ(graph.nodes().size(), 3u);
+  EXPECT_EQ(graph.nodes()[2].parent, 1);       // nested in the parallel-for
+  EXPECT_EQ(graph.enclosing_target(2), -1);    // ...whose team is not `worker`
+  // Consequently no E1: the dispatching thread is a team thread, not a
+  // worker-pool thread.
+  EXPECT_EQ(find_rule(evmp::analysis::analyze(graph), "E1"), nullptr);
+}
+
+// --- E1 / E2 --------------------------------------------------------------
+
+TEST(AnalyzeRules, E1FiresOnSelfBlockingDispatch) {
+  const auto diags = run(R"(
+//#omp target virtual(worker) nowait
+{
+  //#omp target virtual(worker)
+  { busy(); }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 4);
+}
+
+TEST(AnalyzeRules, E1SilentForAwaitAndNowait) {
+  const auto diags = run(R"(
+//#omp target virtual(worker) nowait
+{
+  //#omp target virtual(worker) await
+  { pumped(); }
+  //#omp target virtual(worker) nowait
+  { fire_and_forget(); }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalyzeRules, E2FiresOnBlockingDispatchFromEdt) {
+  const auto diags = run(R"(
+//#omp target virtual(edt) nowait
+{
+  //#omp target virtual(worker)
+  { long_work(); }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E2");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 4);
+  EXPECT_EQ(find_rule(diags, "E1"), nullptr);
+}
+
+TEST(AnalyzeRules, E2SilentForAwaitFromEdt) {
+  const auto diags = run(R"(
+//#omp target virtual(edt) nowait
+{
+  //#omp target virtual(worker) await
+  { long_work(); }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- E3 --------------------------------------------------------------------
+
+TEST(AnalyzeRules, E3FiresOnDispatchCycle) {
+  const auto diags = run(R"(
+//#omp target virtual(alpha) nowait
+{
+  //#omp target virtual(beta)
+  { }
+}
+//#omp target virtual(beta) nowait
+{
+  //#omp target virtual(alpha)
+  { }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E3");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("alpha"), std::string::npos);
+  EXPECT_NE(d->message.find("beta"), std::string::npos);
+  EXPECT_NE(d->message.find("->"), std::string::npos);
+}
+
+TEST(AnalyzeRules, E3FiresOnWaitJoinCycle) {
+  // io blocks on worker via a default dispatch; worker blocks on io via
+  // the wait(batch) join of an io-producing name_as.
+  const auto diags = run(R"(
+//#omp target virtual(io) nowait
+{
+  //#omp target virtual(worker)
+  { }
+}
+//#omp target virtual(worker) nowait
+{
+  //#omp wait(batch)
+}
+//#omp target virtual(io) name_as(batch)
+{ }
+)");
+  const Diagnostic* d = find_rule(diags, "E3");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("wait(batch)"), std::string::npos);
+  EXPECT_EQ(find_rule(diags, "W1"), nullptr);  // the tag pair is matched
+}
+
+TEST(AnalyzeRules, E3SilentWithoutACycle) {
+  const auto diags = run(R"(
+//#omp target virtual(alpha) nowait
+{
+  //#omp target virtual(beta)
+  { }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E3"), nullptr);
+}
+
+// --- W1 --------------------------------------------------------------------
+
+TEST(AnalyzeRules, W1FiresOnBothUnmatchedDirections) {
+  const auto diags = run(R"(
+//#omp target virtual(worker) name_as(produced)
+{ }
+//#omp wait(consumed)
+)");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "W1");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].rule, "W1");
+  EXPECT_EQ(diags[1].line, 4);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(AnalyzeRules, W1SilentWhenTagsPair) {
+  const auto diags = run(R"(
+//#omp target virtual(worker) name_as(batch)
+{ }
+//#omp wait(batch)
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- W2 --------------------------------------------------------------------
+
+TEST(AnalyzeRules, W2FiresOnLoopVariableCapture) {
+  const auto diags = run(R"(
+for (int job = 0; job < n; ++job) {
+  //#omp target virtual(worker) nowait
+  { use(job); }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "W2");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 3);
+  EXPECT_NE(d->message.find("'job'"), std::string::npos);
+}
+
+TEST(AnalyzeRules, W2HandlesRangeForVariables) {
+  const auto diags = run(R"(
+for (const auto& item : items) {
+  //#omp target virtual(worker) nowait
+  { use(item); }
+}
+)");
+  ASSERT_NE(find_rule(diags, "W2"), nullptr);
+}
+
+TEST(AnalyzeRules, W2SilentWithFirstprivate) {
+  const auto diags = run(R"(
+for (int job = 0; job < n; ++job) {
+  //#omp target virtual(worker) nowait firstprivate(job)
+  { use(job); }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalyzeRules, W2SilentOutsideLoopsAndForUnusedVariables) {
+  const auto diags = run(R"(
+//#omp target virtual(worker) nowait
+{ use(42); }
+for (int job = 0; job < n; ++job) {
+  //#omp target virtual(worker) nowait
+  { use(jobless); }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- P1 --------------------------------------------------------------------
+
+TEST(AnalyzeRules, P1FiresOnUnparseableDirective) {
+  const auto diags = run(R"(
+//#omp target bogus(
+{ }
+)");
+  const Diagnostic* d = find_rule(diags, "P1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(AnalyzeRules, P1FiresOnDuplicateClauses) {
+  EXPECT_NE(find_rule(run("//#omp target virtual(w) if(a) if(b)\n{ }\n"),
+                      "P1"),
+            nullptr);
+  EXPECT_NE(find_rule(run("//#omp target virtual(w) nowait await\n{ }\n"),
+                      "P1"),
+            nullptr);
+}
+
+// --- renderers -------------------------------------------------------------
+
+TEST(Diagnostics, TextRendererUsesCompilerShape) {
+  const auto diags = run("//#omp target virtual(edt) nowait\n{\n"
+                         "//#omp target virtual(w)\n{ }\n}\n");
+  const std::string text = evmp::analysis::render_text(diags, "gui.cpp");
+  EXPECT_EQ(text.rfind("gui.cpp:3: error[E2]: ", 0), 0u) << text;
+}
+
+TEST(Diagnostics, JsonRendererEmptyCase) {
+  EXPECT_EQ(evmp::analysis::render_json({}, "a.cpp"),
+            "{\n  \"file\": \"a.cpp\",\n  \"diagnostics\": [],\n"
+            "  \"errors\": 0,\n  \"warnings\": 0\n}\n");
+}
+
+TEST(Diagnostics, JsonRendererSchemaAndEscaping) {
+  std::vector<Diagnostic> diags{
+      {"E1", Severity::kError, 7, "a \"quoted\"\nmessage"},
+      {"W2", Severity::kWarning, 9, "plain"}};
+  const std::string json =
+      evmp::analysis::render_json(diags, "dir\\file.cpp");
+  EXPECT_NE(json.find("\"file\": \"dir\\\\file.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"E1\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nmessage"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+}
+
+// --- the checked-in fixture corpus ----------------------------------------
+
+TEST(AnalysisFixtures, CorpusMatchesExpectedDiagnostics) {
+  struct Case {
+    const char* file;
+    std::vector<std::pair<std::string, int>> expected;  // (rule, line)
+  };
+  const Case cases[] = {
+      {"e1_self_blocking.cpp", {{"E1", 9}}},
+      {"e2_edt_blocking.cpp", {{"E2", 8}}},
+      {"e3_blocking_cycle.cpp", {{"E3", 8}}},
+      {"w1_unmatched_tags.cpp", {{"W1", 6}, {"W1", 10}}},
+      {"w2_loop_capture.cpp", {{"W2", 7}}},
+      {"p1_malformed.cpp", {{"P1", 4}}},
+      {"clean_pipeline.cpp", {}},
+  };
+  for (const Case& c : cases) {
+    const std::string source =
+        read_file(std::string(EVMP_ANALYSIS_FIXTURE_DIR) + "/" + c.file);
+    const auto diags = run(source);
+    std::vector<std::pair<std::string, int>> got;
+    got.reserve(diags.size());
+    for (const Diagnostic& d : diags) got.emplace_back(d.rule, d.line);
+    EXPECT_EQ(got, c.expected) << c.file;
+  }
+}
+
+TEST(AnalysisFixtures, ExamplesAnalyzeClean) {
+  const char* examples[] = {
+      "async_download.cpp",  "dashboard_annotated.cpp",
+      "http_encrypt_service.cpp", "image_pipeline.cpp",
+      "quickstart.cpp",      "translator_demo.cpp"};
+  for (const char* name : examples) {
+    const std::string source =
+        read_file(std::string(EVMP_EXAMPLES_DIR) + "/" + name);
+    EXPECT_TRUE(run(source).empty()) << name;
+  }
+}
+
+// --- WaitGraph (unit, no threads) -----------------------------------------
+
+TEST(WaitGraphUnit, DetectsTwoNodeCycleWhenSaturated) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  graph.add_wait({"alpha", 1}, "beta", 1, "default-mode dispatch", true);
+  EXPECT_TRUE(report.empty());
+  graph.add_wait({"beta", 1}, "alpha", 1, "default-mode dispatch", true);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("deadlock detected"), std::string::npos);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("pending="), std::string::npos);
+}
+
+TEST(WaitGraphUnit, UnsaturatedPoolIsNotADeadlock) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  graph.add_wait({"pool", 2}, "serial", 0, "default-mode dispatch", true);
+  graph.add_wait({"serial", 1}, "pool", 0, "default-mode dispatch", true);
+  EXPECT_TRUE(report.empty());  // pool still has a free thread
+  graph.add_wait({"pool", 2}, "serial", 0, "default-mode dispatch", true);
+  EXPECT_FALSE(report.empty());  // now the pool is saturated: deadlock
+}
+
+TEST(WaitGraphUnit, SoftAwaitEdgesNeverSaturate) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  // The EDT awaits (pumping, soft) while the worker hard-blocks on it:
+  // no deadlock — the pump can still drain the EDT queue.
+  graph.add_wait({"edt", 1}, "worker", 0, "await logical barrier", false);
+  graph.add_wait({"worker", 1}, "edt", 0, "default-mode dispatch", true);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(WaitGraphUnit, RemovedEdgesStopCounting) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  const auto id =
+      graph.add_wait({"alpha", 1}, "beta", 0, "default-mode dispatch", true);
+  graph.remove_wait(id);
+  graph.add_wait({"beta", 1}, "alpha", 0, "default-mode dispatch", true);
+  EXPECT_TRUE(report.empty());
+  EXPECT_NE(graph.describe().find("'beta'"), std::string::npos);
+}
+
+TEST(WaitGraphUnit, ExternalWaitersCannotDeadlock) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  // concurrency 0 marks a non-executor waiter: it never saturates, so a
+  // main thread blocking on a busy pool is never itself a cycle member.
+  graph.add_wait({"external:1", 0}, "pool", 4, "default-mode dispatch", true);
+  graph.add_wait({"pool", 1}, "tag:batch", 2, "wait(name-tag)", true);
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(WaitGraphUnit, GlobalIsDisabledWithoutEnv) {
+  ::unsetenv("EVMP_VERIFY");
+  EXPECT_EQ(WaitGraph::global(), nullptr);
+}
+
+// --- EVMP_VERIFY end-to-end (death tests) ---------------------------------
+
+#if !defined(EVMP_TSAN)
+
+TEST(WaitGraphDeathTest, AbortsOnTwoExecutorBlockingCycle) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // alpha's only thread blocks on beta while beta's only thread blocks on
+  // alpha; with EVMP_VERIFY=1 the second edge insertion must detect the
+  // cycle and abort with the full chain instead of hanging.
+  EXPECT_DEATH(
+      {
+        ::setenv("EVMP_VERIFY", "1", 1);
+        evmp::Runtime runtime;
+        runtime.create_worker("alpha", 1);
+        runtime.create_worker("beta", 1);
+        runtime.invoke_target_block(
+            "alpha",
+            [&runtime] {
+              runtime.invoke_target_block(
+                  "beta",
+                  [&runtime] {
+                    runtime.invoke_target_block("alpha", [] {},
+                                                evmp::Async::kDefault);
+                  },
+                  evmp::Async::kDefault);
+            },
+            evmp::Async::kNowait);
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+      },
+      "deadlock detected.*alpha.*beta");
+}
+
+TEST(WaitGraphDeathTest, TimeoutAbortsAStalledDefaultWait) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ::setenv("EVMP_VERIFY", "1", 1);
+        ::setenv("EVMP_VERIFY_TIMEOUT_MS", "200", 1);
+        evmp::Runtime runtime;
+        runtime.create_worker("slow", 1);
+        runtime.invoke_target_block(
+            "slow",
+            [] { std::this_thread::sleep_for(std::chrono::seconds(30)); },
+            evmp::Async::kDefault);
+      },
+      "wait timeout after 200 ms.*slow");
+}
+
+#endif  // !EVMP_TSAN
+
+}  // namespace

@@ -180,6 +180,38 @@ TEST(DirectiveParser, ParallelErrors) {
                TranslateError);
 }
 
+TEST(DirectiveParser, RejectsDuplicateClauses) {
+  // Target directive: one of each property clause, at most.
+  EXPECT_THROW(parse_directive("target virtual(a) virtual(b)", 1),
+               TranslateError);
+  EXPECT_THROW(parse_directive("target virtual(w) nowait await", 1),
+               TranslateError);
+  EXPECT_THROW(parse_directive("target virtual(w) if(a) if(b)", 1),
+               TranslateError);
+  EXPECT_THROW(
+      parse_directive("target virtual(w) default(none) default(shared)", 1),
+      TranslateError);
+  // Parallel / parallel-for.
+  EXPECT_THROW(parse_directive("parallel num_threads(2) num_threads(4)", 1),
+               TranslateError);
+  EXPECT_THROW(
+      parse_directive("parallel for schedule(static) schedule(dynamic)", 1),
+      TranslateError);
+  EXPECT_THROW(parse_directive("parallel if(a) if(b)", 1), TranslateError);
+  EXPECT_THROW(
+      parse_directive("parallel default(shared) default(none)", 1),
+      TranslateError);
+  // The error names the clause.
+  try {
+    (void)parse_directive("parallel num_threads(2) num_threads(4)", 7);
+    FAIL() << "expected TranslateError";
+  } catch (const TranslateError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate num_threads"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ForHeaderParser, CanonicalForms) {
   const auto h = parse_for_header("int i = 0; i < n; ++i", 1);
   EXPECT_EQ(h.type, "int");
@@ -347,6 +379,46 @@ TEST(Scanner, RawStringsAreSkipped) {
   const auto b = s.extract_block(0);
   EXPECT_EQ(b.end, src.size());
   EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, RawStringsWithCustomDelimiterHideDirectives) {
+  const std::string src =
+      "auto s = R\"ev()\" //#omp target virtual(w)\n)ev\";\n"
+      "auto t = R\"x(#pragma omp target virtual(w)\n{ })x\";\n";
+  SourceScanner s(src);
+  EXPECT_FALSE(s.find_directive(0).has_value());
+}
+
+TEST(Scanner, PragmaLineContinuationJoinsAndParses) {
+  SourceScanner s(
+      "#pragma omp target \\\n"
+      "    virtual(worker) \\\n"
+      "    name_as(batch)\n"
+      "{ }\n");
+  const auto m = s.find_directive(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->line, 1);
+  // The joined clause text must parse as one directive.
+  const auto d = parse_directive(m->text, m->line);
+  EXPECT_EQ(d.target_name(), "worker");
+  EXPECT_EQ(d.name_tag, "batch");
+  // The match must cover all three physical lines, so translation resumes
+  // after the continuation, at the structured block.
+  EXPECT_EQ(s.line_of(m->end), 3);
+}
+
+TEST(Scanner, DirectiveOnLastLineWithoutNewline) {
+  SourceScanner java("f();\n//#omp wait(x)");
+  const auto jm = java.find_directive(0);
+  ASSERT_TRUE(jm.has_value());
+  EXPECT_EQ(jm->line, 2);
+  EXPECT_EQ(jm->text, " wait(x)");
+
+  SourceScanner pragma("f();\n#pragma omp target virtual(w) nowait");
+  const auto pm = pragma.find_directive(0);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ(pm->line, 2);
+  EXPECT_EQ(pm->text, " target virtual(w) nowait");
 }
 
 TEST(Scanner, UnbalancedBlockThrows) {

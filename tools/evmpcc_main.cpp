@@ -2,25 +2,57 @@
 //
 // Usage:
 //   evmpcc <input.cpp> [-o <output.cpp>] [--no-include] [--runtime <expr>]
+//          [--analyze] [--analyze-only] [--Werror] [--diag-format=text|json]
 //
 // Reads a C++ source annotated with the paper's extended target directives
 // (`//#omp target virtual(...) ...` or `#pragma omp target virtual(...)`)
 // and emits the transformed source that calls the EventMP runtime — the
-// same job the Pyjama compiler performs for Java (paper §IV.A).
+// same job the Pyjama compiler performs for Java (paper §IV.A). With
+// --analyze the directive lint (DESIGN.md §8) runs first: E1-E3 blocking
+// misuse errors, W1/W2 tag and capture warnings.
+//
+// Exit codes (CI gates depend on these staying distinct):
+//   0  success
+//   1  cannot open input / cannot write output
+//   2  usage error (unknown flag, missing flag argument, no input)
+//   3  the input does not translate (malformed directive or block)
+//   4  analysis found errors (or warnings, under --Werror)
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/diagnostic.hpp"
 #include "compilerlib/translator.hpp"
+
+#ifndef EVMPCC_VERSION
+#define EVMPCC_VERSION "0.0.0"
+#endif
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <input.cpp> [-o <output.cpp>] [--no-include] [--runtime "
-               "<expr>]\n";
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " <input.cpp> [options]\n"
+         "  -o <file>            write translated source to <file> (default: "
+         "stdout)\n"
+         "  --no-include         do not prepend the evmp runtime include\n"
+         "  --runtime <expr>     runtime accessor expression (default: "
+         "::evmp::rt())\n"
+         "  --analyze            lint directives before translating\n"
+         "  --analyze-only       lint and stop (no translation output)\n"
+         "  --Werror             analysis warnings fail the run (exit 4)\n"
+         "  --diag-format=<fmt>  diagnostics as 'text' (stderr) or 'json' "
+         "(stdout)\n"
+         "  --version            print version and exit\n"
+         "  -h, --help           this message\n";
+}
+
+int usage_error(const char* argv0, const std::string& message) {
+  std::cerr << "evmpcc: " << message << "\n";
+  print_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -29,25 +61,62 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string input;
   std::string output;
+  std::string diag_format = "text";
+  bool analyze = false;
+  bool analyze_only = false;
+  bool werror = false;
   evmp::compiler::TranslateOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-o" && i + 1 < argc) {
+    if (arg == "-o") {
+      if (i + 1 >= argc) {
+        return usage_error(argv[0], "option '-o' requires an argument");
+      }
       output = argv[++i];
     } else if (arg == "--no-include") {
       options.add_include = false;
-    } else if (arg == "--runtime" && i + 1 < argc) {
+    } else if (arg == "--runtime") {
+      if (i + 1 >= argc) {
+        return usage_error(argv[0], "option '--runtime' requires an argument");
+      }
       options.runtime_expr = argv[++i];
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--analyze-only") {
+      analyze = true;
+      analyze_only = true;
+    } else if (arg == "--Werror") {
+      werror = true;
+    } else if (arg == "--diag-format" || arg.rfind("--diag-format=", 0) == 0) {
+      if (arg == "--diag-format") {
+        if (i + 1 >= argc) {
+          return usage_error(argv[0],
+                             "option '--diag-format' requires an argument");
+        }
+        diag_format = argv[++i];
+      } else {
+        diag_format = arg.substr(std::string("--diag-format=").size());
+      }
+      if (diag_format != "text" && diag_format != "json") {
+        return usage_error(argv[0], "unknown --diag-format '" + diag_format +
+                                        "' (expected text or json)");
+      }
+    } else if (arg == "--version") {
+      std::cout << "evmpcc (EventMP) " << EVMPCC_VERSION << "\n";
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      print_usage(std::cout, argv[0]);
+      return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      return usage(argv[0]);
+      return usage_error(argv[0], "unknown option '" + arg + "'");
     } else if (input.empty()) {
       input = arg;
     } else {
-      return usage(argv[0]);
+      return usage_error(argv[0], "multiple input files given");
     }
   }
-  if (input.empty()) return usage(argv[0]);
+  if (input.empty()) return usage_error(argv[0], "no input file");
 
   std::ifstream in(input);
   if (!in) {
@@ -56,10 +125,29 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  if (analyze) {
+    const std::vector<evmp::analysis::Diagnostic> diags =
+        evmp::analysis::analyze_source(source);
+    if (diag_format == "json") {
+      std::cout << evmp::analysis::render_json(diags, input);
+    } else {
+      std::cerr << evmp::analysis::render_text(diags, input);
+    }
+    const evmp::analysis::DiagnosticCounts counts =
+        evmp::analysis::count(diags);
+    if (counts.errors > 0 || (werror && counts.warnings > 0)) {
+      std::cerr << "evmpcc: analysis failed: " << counts.errors
+                << " error(s), " << counts.warnings << " warning(s)"
+                << (werror ? " [--Werror]" : "") << "\n";
+      return 4;
+    }
+    if (analyze_only) return 0;
+  }
 
   try {
-    const auto result =
-        evmp::compiler::translate_source(buffer.str(), options);
+    const auto result = evmp::compiler::translate_source(source, options);
     if (output.empty()) {
       std::cout << result.output;
     } else {
@@ -74,7 +162,7 @@ int main(int argc, char** argv) {
               << " directive(s)\n";
   } catch (const evmp::compiler::TranslateError& e) {
     std::cerr << "evmpcc: " << input << ":" << e.what() << "\n";
-    return 1;
+    return 3;
   }
   return 0;
 }
