@@ -42,10 +42,12 @@ struct Config {
   VirtualUserOptions users;
 };
 
-EncryptionService::Config service_config(const Config& cfg, bool parallel) {
+EncryptionService::Config service_config(const Config& cfg, bool parallel,
+                                         bool pooled) {
   EncryptionService::Config sc;
   sc.payload_bytes = cfg.payload;
   sc.parallel_width = parallel ? cfg.parallel_width : 1;
+  sc.pooled_team = pooled;
   sc.work_model = cfg.model;
   if (cfg.model == evmp::kernels::WorkModel::kSimulated) {
     // Split the handler's simulated duration across the crypt units.
@@ -58,8 +60,8 @@ EncryptionService::Config service_config(const Config& cfg, bool parallel) {
 }
 
 HttpLoadResult run_one(const Config& cfg, bool pyjama, bool parallel,
-                       int workers) {
-  EncryptionService service(service_config(cfg, parallel));
+                       int workers, bool pooled = false) {
+  EncryptionService service(service_config(cfg, parallel, pooled));
   if (pyjama) {
     evmp::http::PyjamaConnector connector(workers, service.handler());
     return evmp::http::run_virtual_users(connector, cfg.users);
@@ -108,7 +110,8 @@ int main(int argc, char** argv) {
 
   evmp::common::TextTable table;
   table.set_header({"workers", "jetty", "pyjama", "jetty+parallel",
-                    "pyjama+parallel", "teams spawned"});
+                    "pyjama+parallel", "pyjama+par(pooled)", "teams spawned",
+                    "pooled helpers"});
 
   for (long workers : thread_counts) {
     const auto helper_threads_before =
@@ -129,13 +132,29 @@ int main(int argc, char** argv) {
                         helper_threads_before) /
                        static_cast<std::uint64_t>(
                            std::max(1, cfg.parallel_width - 1));
+    // The pooled-team series: same per-request parallelisation, but the
+    // handler leases a cached fj::Team instead of spawning one — helper
+    // creation stays flat instead of growing with request count.
+    const auto pooled_before = evmp::fj::total_helper_threads_created();
+    const auto pooled = run_one(cfg, /*pyjama=*/true, /*parallel=*/true,
+                                static_cast<int>(workers), /*pooled=*/true);
+    if (pooled.failed != 0) {
+      std::fprintf(stderr, "# ERROR: %llu failed pooled responses\n",
+                   static_cast<unsigned long long>(pooled.failed));
+    }
+    row.push_back(evmp::common::fmt(pooled.throughput_rps, 1));
     row.push_back(std::to_string(teams));
+    row.push_back(std::to_string(evmp::fj::total_helper_threads_created() -
+                                 pooled_before));
     table.add_row(row);
   }
   table.print(std::cout);
   std::printf("# 'teams spawned': per-request fork-join teams created by the "
               "+parallel variants in this row (the paper's oversubscription "
-              "mechanism).\n");
+              "mechanism). 'pooled helpers': helper threads created during "
+              "the pooled-team run — grows only to the row's concurrency "
+              "high-water mark (workers x (width-1) at most), not with the "
+              "request count; that is the fix for that mechanism.\n");
   if (cfg.users.burst > 1) {
     std::printf("# burst=%d: each user pipelines %d requests per round trip; "
                 "connectors admit each burst via batched submission.\n",

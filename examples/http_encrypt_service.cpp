@@ -6,10 +6,14 @@
 // Run: ./build/examples/http_encrypt_service
 //      [--users=20] [--requests=3] [--workers=4] [--payload=8192]
 //      [--parallel]   (parallelise each request with a per-request team)
+//      [--pooled]     (with --parallel: lease teams from fj::TeamPool
+//                      instead of spawning one per request — the fix for
+//                      the paper's Figure 9 oversubscription collapse)
 
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "forkjoin/team.hpp"
 #include "httpsim/connector.hpp"
 #include "httpsim/encryption_service.hpp"
 #include "httpsim/virtual_users.hpp"
@@ -23,15 +27,20 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_long("payload", 8192));
   const int workers = static_cast<int>(args.get_long("workers", 4));
   const bool parallel = args.get_bool("parallel", false);
+  const bool pooled = args.get_bool("pooled", false);
 
   evmp::http::EncryptionService::Config cfg;
   cfg.payload_bytes = load.payload_bytes;
   cfg.parallel_width = parallel ? 3 : 1;
+  cfg.pooled_team = pooled;
 
   std::printf("HTTP encryption service: %d users x %d requests, %zuB "
-              "payloads, %d workers%s\n\n",
+              "payloads, %d workers%s%s\n\n",
               load.users, load.requests_per_user, load.payload_bytes,
-              workers, parallel ? ", per-request omp parallel" : "");
+              workers, parallel ? ", per-request omp parallel" : "",
+              pooled ? " (pooled teams)" : "");
+
+  const auto helpers_before = evmp::fj::total_helper_threads_created();
 
   {
     evmp::http::EncryptionService service(cfg);
@@ -57,6 +66,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     pyjama.dispatcher().dispatched()),
                 evmp::common::to_ms(pyjama.dispatcher().busy_time()));
+  }
+  if (parallel) {
+    std::printf("\nfork-join helper threads created: %llu%s\n",
+                static_cast<unsigned long long>(
+                    evmp::fj::total_helper_threads_created() -
+                    helpers_before),
+                pooled ? " (pooled: flat regardless of request count)"
+                       : " (one team per request — compare with --pooled)");
   }
   return 0;
 }

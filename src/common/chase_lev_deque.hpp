@@ -1,0 +1,235 @@
+#pragma once
+// Lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA'05), with the
+// C11/C++11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli, "Correct
+// and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//
+// One *owner* thread pushes and pops at the bottom (LIFO — hot tasks stay
+// cache-warm); any number of *thief* threads steal from the top (FIFO) by
+// CAS-ing `top`. The owner's push/pop are wait-free except when growing;
+// steals are lock-free (a failed CAS means another thief or the owner won
+// the element, never a blocked lock).
+//
+// Why this replaces the mutex deque in WorkStealingExecutor: every owner
+// pop there took an uncontended-but-real lock (and a cache-line ping when a
+// thief probed the same deque), and each idle rescan serialised on N locks.
+// Here the owner's common case is two relaxed loads, one release store and
+// one seq_cst fence; a thief pays one seq_cst CAS per stolen task.
+//
+// The circular array grows geometrically and never shrinks. Retired arrays
+// are parked on an intrusive list owned by the deque and freed only at
+// destruction — the ObjectPool idiom (slabs stay registered and reachable,
+// nothing is freed mid-life) applied to buffers: a thief that loaded the
+// old array pointer just before a grow may still read slots from it, so
+// the memory must outlive every in-flight steal, and keeping it until the
+// deque dies is the zero-coordination way to guarantee that. Total retired
+// memory is bounded by one doubling chain (< current capacity), and once
+// the deque has grown to its high-water mark the steady state allocates
+// nothing — the property bench_steal_throughput --alloc-check enforces.
+//
+// Memory-ordering argument (DESIGN.md §9 walks the full proof sketch):
+//  * push: write the slot (relaxed), then publish `bottom+1` with a
+//    release store. A thief whose acquire load of `bottom` covers the
+//    slot's index also observes the slot write — and the payload behind
+//    it. Every owner store to `bottom` is release (not just pushes) so
+//    the edge never depends on C++20's narrowed release sequences, and
+//    so the protocol is visible to ThreadSanitizer, which does not model
+//    atomic_thread_fence (the PPoPP'13 relaxed-store+fence form is
+//    equivalent on hardware but opaque to the race detector).
+//  * pop: decrement bottom (release), seq_cst fence, read top. The fence
+//    pairs with the thief's fence so owner and thief cannot both miss each
+//    other on the last element; the final element is arbitrated by the
+//    same CAS on `top` the thieves use.
+//  * steal: read top (acquire), seq_cst fence, read bottom (acquire); if
+//    non-empty, read the slot, then CAS top (seq_cst). The CAS only
+//    succeeds if no other thief (and not the owner's last-element pop)
+//    claimed index `top` first, so every element is surrendered exactly
+//    once. The slot read precedes the CAS, which is why slots must be
+//    atomic (a racing owner push to a recycled index is a benign data race
+//    on the value only when the CAS subsequently fails).
+//
+// T must be trivially copyable and lock-free as std::atomic<T> — in
+// practice a pointer (the executor stores pooled TaskNode*). Storing the
+// payload out-of-line is what makes the racy slot reads well-defined.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace evmp::common {
+
+template <class T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Chase–Lev slots are read racily before the claiming CAS; "
+                "only trivially copyable payloads (store a pointer) are "
+                "well-defined");
+  static_assert(std::atomic<T>::is_always_lock_free,
+                "slot reads/writes must be lock-free atomics");
+
+ public:
+  /// Steal outcome: thieves distinguish "nothing there" from "lost a race"
+  /// so an executor scan can keep probing a contended victim.
+  enum class Steal { kEmpty, kAbort, kSuccess };
+
+  explicit ChaseLevDeque(std::size_t initial_capacity = kInitialCapacity)
+      : buffer_(Buffer::create(round_up(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    Buffer* b = buffer_.load(std::memory_order_relaxed);
+    while (b != nullptr) {
+      Buffer* prev = b->retired_prev;
+      Buffer::destroy(b);
+      b = prev;
+    }
+  }
+
+  /// Owner only: push at the bottom. Grows (amortised O(1)) when full.
+  void push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->slot(b).store(value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the newest element (LIFO). False when empty.
+  bool pop_bottom(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buf->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via the same CAS they use.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_release);
+          return false;  // a thief got it
+        }
+        bottom_.store(b + 1, std::memory_order_release);
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_release);  // was empty
+    return false;
+  }
+
+  /// Any thread: steal the oldest element (FIFO).
+  Steal steal_top(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return Steal::kEmpty;
+    // Read the array pointer after the fence: a grow that completed before
+    // `bottom` was (re)read published its copy of index t, and a stale
+    // pointer still holds the same value at t (grow copies [top, bottom)).
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    out = buf->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return Steal::kAbort;  // lost the race; element belongs to someone else
+    }
+    return Steal::kSuccess;
+  }
+
+  /// Approximate occupancy (exact only when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Current circular-array capacity (test/bench observability).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_relaxed)->capacity;
+  }
+
+  /// Buffers retired by growth and parked until destruction.
+  [[nodiscard]] std::size_t retired_buffers() const noexcept {
+    std::size_t n = 0;
+    for (Buffer* b = buffer_.load(std::memory_order_relaxed)->retired_prev;
+         b != nullptr; b = b->retired_prev) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  /// Circular array of atomic slots, allocated in one block. `retired_prev`
+  /// chains every predecessor array (never freed before the deque — see the
+  /// header comment).
+  struct Buffer {
+    std::size_t capacity;
+    std::size_t mask;
+    Buffer* retired_prev = nullptr;
+
+    std::atomic<T>& slot(std::int64_t index) noexcept {
+      return slots()[static_cast<std::size_t>(index) & mask];
+    }
+
+    std::atomic<T>* slots() noexcept {
+      return reinterpret_cast<std::atomic<T>*>(this + 1);
+    }
+
+    static Buffer* create(std::size_t capacity) {
+      void* raw = ::operator new(
+          sizeof(Buffer) + capacity * sizeof(std::atomic<T>),
+          std::align_val_t{alignof(Buffer)});
+      Buffer* b = new (raw) Buffer{capacity, capacity - 1, nullptr};
+      // Slots are written before they become reachable (top..bottom
+      // protocol), but value-initialise anyway so a stale racy read during
+      // grow never observes uninitialised memory.
+      for (std::size_t i = 0; i < capacity; ++i) {
+        new (&b->slots()[i]) std::atomic<T>();
+      }
+      return b;
+    }
+
+    static void destroy(Buffer* b) noexcept {
+      b->~Buffer();
+      ::operator delete(b, std::align_val_t{alignof(Buffer)});
+    }
+  };
+
+  /// Owner only: double the array, copying live indices [t, b). The old
+  /// array is retired (chained, not freed) because concurrent thieves may
+  /// still hold its pointer.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* fresh = Buffer::create(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      fresh->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    fresh->retired_prev = old;
+    buffer_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  static std::size_t round_up(std::size_t n) noexcept {
+    std::size_t cap = kInitialCapacity;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  // Owner-written indices on separate cache lines from each other and from
+  // the thief-CASed top, so steals do not invalidate the owner's line.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_;
+};
+
+}  // namespace evmp::common

@@ -399,9 +399,13 @@ std::string generate_parallel(const Directive& d, const std::string& body,
      << env.shadows << "    " << wrap_body(body, braced) << "\n  };\n";
   std::string invoke;
   if (!d.num_threads.empty()) {
-    invoke = "{ ::evmp::fj::Team __evmp_team_" + id + "(static_cast<int>(" +
+    // Lease the region's team from the process-wide pool: a num_threads
+    // clause inside an event handler no longer creates helper threads per
+    // event (the Figure 9 pathology).
+    invoke = "{ auto __evmp_team_" + id +
+             " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
              d.num_threads + ")); __evmp_team_" + id +
-             ".parallel(__evmp_region_" + id + "); }";
+             "->parallel(__evmp_region_" + id + "); }";
   } else {
     invoke = "::evmp::fj::default_parallel(__evmp_region_" + id + ");";
   }
@@ -444,11 +448,11 @@ std::string generate_parallel_for(const Directive& d, const ForHeader& h,
        << ") {\n" << iter_body << "  };\n";
     std::string invoke;
     if (!d.num_threads.empty()) {
-      invoke = "{ ::evmp::fj::Team __evmp_team_" + id +
-               "(static_cast<int>(" + d.num_threads +
-               ")); ::evmp::fj::parallel_for(__evmp_team_" + id + ", " + lo +
-               ", " + hi + ", __evmp_loop_" + id + ", " + schedule_expr(d) +
-               ", " + chunk_expr(d) + "); }";
+      invoke = "{ auto __evmp_team_" + id +
+               " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
+               d.num_threads + ")); ::evmp::fj::parallel_for(*__evmp_team_" +
+               id + ", " + lo + ", " + hi + ", __evmp_loop_" + id + ", " +
+               schedule_expr(d) + ", " + chunk_expr(d) + "); }";
     } else {
       invoke = "::evmp::fj::default_parallel_for(" + lo + ", " + hi +
                ", __evmp_loop_" + id + ", " + schedule_expr(d) + ", " +
@@ -492,8 +496,9 @@ std::string generate_parallel_for(const Directive& d, const ForHeader& h,
      << iter_body << "    }\n  };\n";
   std::string invoke;
   if (!d.num_threads.empty()) {
-    invoke = "{ ::evmp::fj::Team __evmp_team_" + id + "(static_cast<int>(" +
-             d.num_threads + ")); ::evmp::fj::parallel_ranges(__evmp_team_" +
+    invoke = "{ auto __evmp_team_" + id +
+             " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
+             d.num_threads + ")); ::evmp::fj::parallel_ranges(*__evmp_team_" +
              id + ", " + lo + ", " + hi + ", __evmp_ranges_" + id + ", " +
              schedule_expr(d) + ", " + chunk_expr(d) + "); }";
   } else {

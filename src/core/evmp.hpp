@@ -11,3 +11,4 @@
 #include "forkjoin/default_team.hpp"  // IWYU pragma: export
 #include "forkjoin/parallel_for.hpp"  // IWYU pragma: export
 #include "forkjoin/team.hpp"       // IWYU pragma: export
+#include "forkjoin/team_pool.hpp"  // IWYU pragma: export

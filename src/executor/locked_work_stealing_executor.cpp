@@ -1,0 +1,198 @@
+#include "executor/locked_work_stealing_executor.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/tracing.hpp"
+
+namespace evmp::exec {
+
+namespace {
+// Which worker of which locked stealing pool the current thread is (set
+// once in worker_main; -1 on foreign threads).
+thread_local const LockedWorkStealingExecutor* t_pool = nullptr;
+thread_local int t_worker_index = -1;
+}  // namespace
+
+LockedWorkStealingExecutor::LockedWorkStealingExecutor(std::string pool_name,
+                                                       std::size_t num_threads)
+    : Executor(std::move(pool_name)) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_main(static_cast<int>(i)); });
+  }
+}
+
+LockedWorkStealingExecutor::~LockedWorkStealingExecutor() { shutdown(); }
+
+int LockedWorkStealingExecutor::current_worker_index() const noexcept {
+  return t_pool == this ? t_worker_index : -1;
+}
+
+void LockedWorkStealingExecutor::post(Task task) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    EVMP_LOG_WARN << "task posted to shut-down stealing pool '" << name()
+                  << "' was dropped";
+    return;
+  }
+  const int self = current_worker_index();
+  std::size_t target;
+  if (self >= 0) {
+    target = static_cast<std::size_t>(self);  // own deque: LIFO locality
+  } else {
+    target = next_victim_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::scoped_lock lk(queues_[target]->mu);
+    if (self >= 0) {
+      queues_[target]->tasks.push_back(std::move(task));
+    } else {
+      queues_[target]->tasks.push_front(std::move(task));
+    }
+  }
+  {
+    // Notify under the idle lock (destruction-safe wakeup, see
+    // EventLoop::post for the rationale).
+    std::scoped_lock lk(idle_mu_);
+    idle_cv_.notify_one();
+  }
+}
+
+void LockedWorkStealingExecutor::post_batch(std::span<Task> tasks) {
+  if (tasks.empty()) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    EVMP_LOG_WARN << "batch of " << tasks.size()
+                  << " tasks posted to shut-down stealing pool '" << name()
+                  << "' was dropped";
+    return;
+  }
+  const int self = current_worker_index();
+  const std::size_t target =
+      self >= 0 ? static_cast<std::size_t>(self)
+                : next_victim_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size();
+  {
+    std::scoped_lock lk(queues_[target]->mu);
+    if (self >= 0) {
+      // Own deque: append in order behind existing work, like N posts.
+      for (Task& task : tasks) {
+        queues_[target]->tasks.push_back(std::move(task));
+      }
+    } else {
+      // Foreign burst: land at the steal end, first batch element in front
+      // (push_front in reverse keeps the batch's relative order FIFO for
+      // thieves).
+      for (std::size_t i = tasks.size(); i-- > 0;) {
+        queues_[target]->tasks.push_front(std::move(tasks[i]));
+      }
+    }
+  }
+  batch_posts_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lk(idle_mu_);
+    idle_cv_.notify_all();  // one wakeup for the whole burst
+  }
+}
+
+bool LockedWorkStealingExecutor::take_task(int self, Task& out) {
+  const std::size_t n = queues_.size();
+  // 1. Own deque, newest first.
+  if (self >= 0) {
+    auto& q = *queues_[static_cast<std::size_t>(self)];
+    std::scoped_lock lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = q.tasks.pop_back();
+      local_pops_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // 2. Steal oldest-first from a rotating victim.
+  const std::size_t start =
+      next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (self >= 0 && v == static_cast<std::size_t>(self)) continue;
+    auto& q = *queues_[v];
+    std::scoped_lock lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = q.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockedWorkStealingExecutor::try_run_one() {
+  Task task;
+  if (!take_task(current_worker_index(), task)) return false;
+  run_task(task);
+  return true;
+}
+
+std::size_t LockedWorkStealingExecutor::concurrency() const noexcept {
+  return threads_.size();
+}
+
+std::size_t LockedWorkStealingExecutor::pending() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) {
+    std::scoped_lock lk(q->mu);
+    total += q->tasks.size();
+  }
+  return total;
+}
+
+void LockedWorkStealingExecutor::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::scoped_lock lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  threads_.clear();  // jthread joins; workers drain before exiting
+
+  auto& tracer = common::Tracer::instance();
+  const std::string prefix(name());
+  tracer.set_counter(prefix + ".local_pops",
+                     local_pops_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".steals",
+                     steals_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".batch_posts",
+                     batch_posts_.load(std::memory_order_relaxed));
+}
+
+void LockedWorkStealingExecutor::worker_main(int index) {
+  ThreadBinding bind(this);
+  t_pool = this;
+  t_worker_index = index;
+  for (;;) {
+    Task task;
+    if (take_task(index, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lk(idle_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Final drain check under the idle lock: a post may have landed
+      // between the failed scan and here.
+      lk.unlock();
+      if (take_task(index, task)) {
+        run_task(task);
+        continue;
+      }
+      break;
+    }
+    idle_cv_.wait_for(lk, std::chrono::milliseconds{1});
+  }
+  t_pool = nullptr;
+  t_worker_index = -1;
+}
+
+}  // namespace evmp::exec

@@ -1,0 +1,87 @@
+#pragma once
+// The original mutex-per-deque work-stealing pool, kept verbatim as the
+// ablation baseline for the lock-free WorkStealingExecutor: every deque
+// operation takes a per-worker std::mutex and idle workers poll a single
+// shared condition variable. bench_steal_throughput and
+// bench_ablation_pool run the two implementations head-to-head; keeping
+// the locked one alive (behind Runtime::create_locked_stealing_worker)
+// means the comparison can never rot into a guess.
+//
+// Design: each worker owns a deque (own work is taken LIFO for locality;
+// thieves take FIFO from the other end). Foreign submissions distribute
+// round-robin. Idle workers sleep on a shared condition variable and
+// re-scan every deque on wakeup, so no task can be stranded.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "executor/executor.hpp"
+
+namespace evmp::exec {
+
+/// Fixed-size pool with per-worker mutex-guarded deques and work stealing.
+class LockedWorkStealingExecutor final : public Executor {
+ public:
+  LockedWorkStealingExecutor(std::string name, std::size_t num_threads);
+  ~LockedWorkStealingExecutor() override;
+
+  void post(Task task) override;
+  /// Admit a burst into one worker deque under a single lock with a single
+  /// wakeup; the deque is chosen round-robin like foreign post(). Batch
+  /// order is preserved at the steal (FIFO) end of the deque.
+  void post_batch(std::span<Task> tasks) override;
+  bool try_run_one() override;
+  [[nodiscard]] std::size_t concurrency() const noexcept override;
+  [[nodiscard]] std::size_t pending() const override;
+
+  /// Stop accepting tasks, drain all deques, and join. Idempotent.
+  /// Publishes pop/steal/batch counters to common::Tracer.
+  void shutdown();
+
+  /// Tasks executed from the owning worker's deque (LIFO pops).
+  [[nodiscard]] std::uint64_t local_pops() const noexcept {
+    return local_pops_.load(std::memory_order_relaxed);
+  }
+  /// Tasks stolen from another worker's deque.
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// post_batch() calls accepted.
+  [[nodiscard]] std::uint64_t batch_posts() const noexcept {
+    return batch_posts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    // RingBuffer instead of std::deque: retains its high-water capacity, so
+    // a steady-state deque never allocates (std::deque churns 512 B chunks
+    // as head/tail cross block edges).
+    common::RingBuffer<Task> tasks;
+  };
+
+  /// Take a task: own deque first (LIFO), then steal (FIFO) starting from
+  /// a rotating victim. `self` < 0 means a foreign caller (steal only).
+  bool take_task(int self, Task& out);
+  void worker_main(int index);
+  [[nodiscard]] int current_worker_index() const noexcept;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<std::uint64_t> next_victim_{0};
+  std::atomic<std::uint64_t> local_pops_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> batch_posts_{0};
+  std::vector<std::jthread> threads_;  // last: start after queues exist
+};
+
+}  // namespace evmp::exec

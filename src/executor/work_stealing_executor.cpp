@@ -1,5 +1,7 @@
 #include "executor/work_stealing_executor.hpp"
 
+#include <algorithm>
+#include <array>
 #include <string>
 
 #include "common/logging.hpp"
@@ -12,15 +14,20 @@ namespace {
 // worker_main; -1 on foreign threads).
 thread_local const WorkStealingExecutor* t_pool = nullptr;
 thread_local int t_worker_index = -1;
+
+// Foreign post_batch() wraps tasks in nodes through this stack staging
+// area, one injection push_batch per chunk — bounded so a burst of any
+// size stays allocation-free here.
+constexpr std::size_t kBatchChunk = 64;
 }  // namespace
 
 WorkStealingExecutor::WorkStealingExecutor(std::string pool_name,
                                            std::size_t num_threads)
     : Executor(std::move(pool_name)) {
   if (num_threads == 0) num_threads = 1;
-  queues_.reserve(num_threads);
+  workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.push_back(std::make_unique<Worker>());
   }
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -40,28 +47,17 @@ void WorkStealingExecutor::post(Task task) {
                   << "' was dropped";
     return;
   }
+  TaskNode* node = NodePool::acquire();
+  node->fn = std::move(task);
   const int self = current_worker_index();
-  std::size_t target;
   if (self >= 0) {
-    target = static_cast<std::size_t>(self);  // own deque: LIFO locality
+    // Own deque, LIFO end: no lock, no RMW — slot store + release fence.
+    workers_[static_cast<std::size_t>(self)]->deque.push_bottom(node);
   } else {
-    target = next_victim_.fetch_add(1, std::memory_order_relaxed) %
-             queues_.size();
+    // Foreign threads may not touch a Chase–Lev bottom; inject instead.
+    injection_.push(node);
   }
-  {
-    std::scoped_lock lk(queues_[target]->mu);
-    if (self >= 0) {
-      queues_[target]->tasks.push_back(std::move(task));
-    } else {
-      queues_[target]->tasks.push_front(std::move(task));
-    }
-  }
-  {
-    // Notify under the idle lock (destruction-safe wakeup, see
-    // EventLoop::post for the rationale).
-    std::scoped_lock lk(idle_mu_);
-    idle_cv_.notify_one();
-  }
+  idle_.notify_one();
 }
 
 void WorkStealingExecutor::post_batch(std::span<Task> tasks) {
@@ -73,66 +69,85 @@ void WorkStealingExecutor::post_batch(std::span<Task> tasks) {
     return;
   }
   const int self = current_worker_index();
-  const std::size_t target =
-      self >= 0 ? static_cast<std::size_t>(self)
-                : next_victim_.fetch_add(1, std::memory_order_relaxed) %
-                      queues_.size();
-  {
-    std::scoped_lock lk(queues_[target]->mu);
-    if (self >= 0) {
-      // Own deque: append in order behind existing work, like N posts.
-      for (Task& task : tasks) {
-        queues_[target]->tasks.push_back(std::move(task));
+  if (self >= 0) {
+    // Own deque: append in order behind existing work, like N posts.
+    auto& deque = workers_[static_cast<std::size_t>(self)]->deque;
+    for (Task& task : tasks) {
+      TaskNode* node = NodePool::acquire();
+      node->fn = std::move(task);
+      deque.push_bottom(node);
+    }
+  } else {
+    // Foreign burst: one injection shard for the whole batch keeps its
+    // relative order FIFO; chunked staging keeps this path heap-free.
+    const std::size_t shard = injection_.home_shard();
+    std::array<TaskNode*, kBatchChunk> staged;
+    std::size_t i = 0;
+    while (i < tasks.size()) {
+      const std::size_t m = std::min(kBatchChunk, tasks.size() - i);
+      for (std::size_t j = 0; j < m; ++j) {
+        TaskNode* node = NodePool::acquire();
+        node->fn = std::move(tasks[i + j]);
+        staged[j] = node;
       }
-    } else {
-      // Foreign burst: land at the steal end, first batch element in front
-      // (push_front in reverse keeps the batch's relative order FIFO for
-      // thieves).
-      for (std::size_t i = tasks.size(); i-- > 0;) {
-        queues_[target]->tasks.push_front(std::move(tasks[i]));
-      }
+      injection_.push_batch_to(shard, std::span(staged.data(), m));
+      i += m;
     }
   }
   batch_posts_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::scoped_lock lk(idle_mu_);
-    idle_cv_.notify_all();  // one wakeup for the whole burst
-  }
+  idle_.notify_all();  // a batch may satisfy many parked workers
 }
 
-bool WorkStealingExecutor::take_task(int self, Task& out) {
-  const std::size_t n = queues_.size();
-  // 1. Own deque, newest first.
+bool WorkStealingExecutor::take_node(int self, TaskNode*& out) {
+  // 1. Own deque, newest first (locality: the task most likely to have its
+  //    captures still in this core's cache).
   if (self >= 0) {
-    auto& q = *queues_[static_cast<std::size_t>(self)];
-    std::scoped_lock lk(q.mu);
-    if (!q.tasks.empty()) {
-      out = q.tasks.pop_back();
+    if (workers_[static_cast<std::size_t>(self)]->deque.pop_bottom(out)) {
       local_pops_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
-  // 2. Steal oldest-first from a rotating victim.
+  // 2. Foreign submissions from the injection queue (non-blocking).
+  const std::size_t home = self >= 0 ? static_cast<std::size_t>(self)
+                                     : injection_.home_shard();
+  if (auto injected = injection_.try_pop(home)) {
+    out = *injected;
+    injection_pops_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // 3. Steal oldest-first from a rotating victim. A lost CAS (kAbort)
+  //    means the victim demonstrably has traffic — retry it rather than
+  //    walking away from a deque that had work an instant ago.
+  const std::size_t n = workers_.size();
   const std::size_t start =
       next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t v = (start + k) % n;
     if (self >= 0 && v == static_cast<std::size_t>(self)) continue;
-    auto& q = *queues_[v];
-    std::scoped_lock lk(q.mu);
-    if (!q.tasks.empty()) {
-      out = q.tasks.pop_front();
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      return true;
+    auto& victim = workers_[v]->deque;
+    for (;;) {
+      using Steal = common::ChaseLevDeque<TaskNode*>::Steal;
+      const Steal result = victim.steal_top(out);
+      if (result == Steal::kSuccess) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (result == Steal::kEmpty) break;
     }
   }
   return false;
 }
 
-bool WorkStealingExecutor::try_run_one() {
-  Task task;
-  if (!take_task(current_worker_index(), task)) return false;
+void WorkStealingExecutor::run_node(TaskNode* node) {
+  Task task = std::move(node->fn);
+  NodePool::release(node);  // recycle before running: spawned children reuse it
   run_task(task);
+}
+
+bool WorkStealingExecutor::try_run_one() {
+  TaskNode* node = nullptr;
+  if (!take_node(current_worker_index(), node)) return false;
+  run_node(node);
   return true;
 }
 
@@ -141,10 +156,9 @@ std::size_t WorkStealingExecutor::concurrency() const noexcept {
 }
 
 std::size_t WorkStealingExecutor::pending() const {
-  std::size_t total = 0;
-  for (const auto& q : queues_) {
-    std::scoped_lock lk(q->mu);
-    total += q->tasks.size();
+  std::size_t total = injection_.size();
+  for (const auto& w : workers_) {
+    total += w->deque.size();
   }
   return total;
 }
@@ -152,11 +166,13 @@ std::size_t WorkStealingExecutor::pending() const {
 void WorkStealingExecutor::shutdown() {
   if (shut_down_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
-  {
-    std::scoped_lock lk(idle_mu_);
-    idle_cv_.notify_all();
-  }
+  idle_.notify_all();
   threads_.clear();  // jthread joins; workers drain before exiting
+
+  // A post() racing shutdown may have slipped a node in after its worker's
+  // final scan; drain stragglers on this thread so nothing is stranded.
+  TaskNode* node = nullptr;
+  while (take_node(-1, node)) run_node(node);
 
   auto& tracer = common::Tracer::instance();
   const std::string prefix(name());
@@ -164,6 +180,8 @@ void WorkStealingExecutor::shutdown() {
                      local_pops_.load(std::memory_order_relaxed));
   tracer.set_counter(prefix + ".steals",
                      steals_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".injection_pops",
+                     injection_pops_.load(std::memory_order_relaxed));
   tracer.set_counter(prefix + ".batch_posts",
                      batch_posts_.load(std::memory_order_relaxed));
 }
@@ -172,24 +190,47 @@ void WorkStealingExecutor::worker_main(int index) {
   ThreadBinding bind(this);
   t_pool = this;
   t_worker_index = index;
+  TaskNode* node = nullptr;
   for (;;) {
-    Task task;
-    if (take_task(index, task)) {
-      run_task(task);
+    if (take_node(index, node)) {
+      run_node(node);
       continue;
     }
-    std::unique_lock lk(idle_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      // Final drain check under the idle lock: a post may have landed
-      // between the failed scan and here.
-      lk.unlock();
-      if (take_task(index, task)) {
-        run_task(task);
-        continue;
+    if (stopping_.load(std::memory_order_acquire)) break;  // scan above drained
+
+    // Out of work: climb the backoff ladder (pause-spins, then yields —
+    // both skipped straight to parking on a single-core host), re-probing
+    // all sources each step.
+    common::SpinWait spin;
+    bool found = false;
+    while (spin.spin()) {
+      if (take_node(index, node)) {
+        found = true;
+        break;
       }
-      break;
+      if (stopping_.load(std::memory_order_acquire)) break;
     }
-    idle_cv_.wait_for(lk, std::chrono::milliseconds{1});
+    if (found) {
+      run_node(node);
+      continue;
+    }
+
+    // Park. prepare→re-check→commit against the EventCount: a post that
+    // lands after the re-check bumps the epoch (its notify RMW is ordered
+    // after our prepare RMW on the same word), so commit_wait returns
+    // immediately — no lost wakeup. Shutdown's notify_all is caught the
+    // same way.
+    const auto key = idle_.prepare_wait();
+    if (stopping_.load(std::memory_order_acquire)) {
+      idle_.cancel_wait();
+      continue;  // loop top drains, then exits via the stopping check
+    }
+    if (take_node(index, node)) {
+      idle_.cancel_wait();
+      run_node(node);
+      continue;
+    }
+    idle_.commit_wait(key);
   }
   t_pool = nullptr;
   t_worker_index = -1;

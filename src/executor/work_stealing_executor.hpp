@@ -1,45 +1,64 @@
 #pragma once
-// Work-stealing thread pool: an alternative backing for worker virtual
-// targets. The paper's central-queue executor (our ThreadPoolExecutor)
-// serialises all submissions through one lock; under fine-grained target
-// blocks — especially blocks that spawn further blocks — per-worker deques
-// with stealing scale better. bench_ablation_pool quantifies the gap.
+// Lock-free work-stealing thread pool: the default backing for worker
+// virtual targets. The paper's central-queue executor (ThreadPoolExecutor)
+// serialises all submissions through one lock; the previous stealing pool
+// (kept as LockedWorkStealingExecutor for the ablation) removed the global
+// lock but still paid a per-worker std::mutex on every deque operation and
+// woke idlers through one polled condition variable. This version removes
+// both taxes:
 //
-// Design: each worker owns a deque (own work is taken LIFO for locality;
-// thieves take FIFO from the other end). Foreign submissions distribute
-// round-robin. Idle workers sleep on a shared condition variable and
-// re-scan every deque on wakeup, so no task can be stranded.
+//  * each worker owns a common::ChaseLevDeque<TaskNode*> — owner push/pop
+//    are fence-only (no RMW in the common case), thieves pay one CAS per
+//    stolen task, and a failed steal never blocks anyone;
+//  * tasks live in pooled TaskNode envelopes (common::ObjectPool), so the
+//    deques move trivially-copyable pointers — the racy pre-CAS slot reads
+//    Chase–Lev requires are well-defined, and the steady state allocates
+//    nothing (enforced by bench_steal_throughput --alloc-check);
+//  * foreign post() cannot touch a Chase–Lev bottom (owner-only), so
+//    non-worker submissions land in a ShardedMpmcQueue injection queue
+//    that workers poll between their own deque and stealing;
+//  * idle workers spin-then-park on a common::EventCount — notify_one
+//    wakes exactly one worker the moment work arrives (no 1 ms polling, no
+//    thundering-herd rescan of every deque), and a producer that finds no
+//    waiters never reaches a syscall.
+//
+// bench_steal_throughput and bench_ablation_pool quantify the gap against
+// LockedWorkStealingExecutor; DESIGN.md §9 documents the memory-ordering
+// and parking arguments.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-#include "common/ring_buffer.hpp"
+#include "common/chase_lev_deque.hpp"
+#include "common/event_count.hpp"
+#include "common/object_pool.hpp"
+#include "common/sharded_queue.hpp"
 #include "executor/executor.hpp"
 
 namespace evmp::exec {
 
-/// Fixed-size pool with per-worker deques and work stealing.
+/// Fixed-size pool with per-worker lock-free Chase–Lev deques, a sharded
+/// injection queue for foreign submissions, and event-count parking.
 class WorkStealingExecutor final : public Executor {
  public:
   WorkStealingExecutor(std::string name, std::size_t num_threads);
   ~WorkStealingExecutor() override;
 
   void post(Task task) override;
-  /// Admit a burst into one worker deque under a single lock with a single
-  /// wakeup; the deque is chosen round-robin like foreign post(). Batch
-  /// order is preserved at the steal (FIFO) end of the deque.
+  /// Admit a burst: a worker thread appends to its own deque in order (the
+  /// same state as N posts); a foreign thread lands the whole batch on one
+  /// injection shard under one lock with one wakeup, preserving FIFO order
+  /// within the batch.
   void post_batch(std::span<Task> tasks) override;
   bool try_run_one() override;
   [[nodiscard]] std::size_t concurrency() const noexcept override;
   [[nodiscard]] std::size_t pending() const override;
 
-  /// Stop accepting tasks, drain all deques, and join. Idempotent.
-  /// Publishes pop/steal/batch counters to common::Tracer.
+  /// Stop accepting tasks, drain all queues, and join. Idempotent.
+  /// Publishes pop/steal/injection/batch counters to common::Tracer.
   void shutdown();
 
   /// Tasks executed from the owning worker's deque (LIFO pops).
@@ -50,34 +69,50 @@ class WorkStealingExecutor final : public Executor {
   [[nodiscard]] std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);
   }
+  /// Tasks taken from the foreign-submission injection queue.
+  [[nodiscard]] std::uint64_t injection_pops() const noexcept {
+    return injection_pops_.load(std::memory_order_relaxed);
+  }
   /// post_batch() calls accepted.
   [[nodiscard]] std::uint64_t batch_posts() const noexcept {
     return batch_posts_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct WorkerQueue {
-    std::mutex mu;
-    // RingBuffer instead of std::deque: retains its high-water capacity, so
-    // a steady-state deque never allocates (std::deque churns 512 B chunks
-    // as head/tail cross block edges).
-    common::RingBuffer<Task> tasks;
+  /// Pooled envelope a deque slot points at. The pool requires the node to
+  /// be default-constructible and expose pool_next_; nodes are recycled
+  /// (released the moment their task is moved out), never freed.
+  struct TaskNode {
+    Task fn;
+    TaskNode* pool_next_ = nullptr;
+  };
+  using NodePool = common::ObjectPool<TaskNode>;
+
+  struct Worker {
+    // Separate cache lines per worker happen naturally: ChaseLevDeque
+    // aligns its hot indices to 64 B internally.
+    common::ChaseLevDeque<TaskNode*> deque;
   };
 
-  /// Take a task: own deque first (LIFO), then steal (FIFO) starting from
-  /// a rotating victim. `self` < 0 means a foreign caller (steal only).
-  bool take_task(int self, Task& out);
+  /// Take a node: own deque first (LIFO), then the injection queue, then
+  /// steal (FIFO) from a rotating victim, retrying a victim on a lost CAS
+  /// race. `self` < 0 means a foreign caller (injection + steal only).
+  bool take_node(int self, TaskNode*& out);
+  /// Unwrap, recycle the envelope, run. Recycling before running keeps the
+  /// node hot for a task that immediately spawns more work.
+  void run_node(TaskNode* node);
   void worker_main(int index);
   [[nodiscard]] int current_worker_index() const noexcept;
 
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  common::ShardedMpmcQueue<TaskNode*> injection_;
+  common::EventCount idle_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shut_down_{false};
   std::atomic<std::uint64_t> next_victim_{0};
   std::atomic<std::uint64_t> local_pops_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> injection_pops_{0};
   std::atomic<std::uint64_t> batch_posts_{0};
   std::vector<std::jthread> threads_;  // last: start after queues exist
 };

@@ -74,16 +74,22 @@ void parallel_ranges(Team& team, long lo, long hi, PerRange&& body,
       const long min_chunk = chunk <= 0 ? 1 : chunk;
       std::atomic<long> next{lo};
       team.parallel([&](int tid, int nth) {
-        for (;;) {
-          // Optimistic size estimate, then claim atomically.
-          const long seen = next.load(std::memory_order_relaxed);
-          if (seen >= hi) break;
+        long seen = next.load(std::memory_order_relaxed);
+        while (seen < hi) {
+          // Claim by CAS, clamped to what actually remains: the shared
+          // counter can never move past hi, so back-to-back long-running
+          // loops cannot creep it toward overflow (a fetch_add here used
+          // to overshoot by one chunk per exiting thread). A failed CAS
+          // reloads `seen` and re-sizes the chunk from fresh state.
           const long remaining = hi - seen;
-          const long take =
-              std::max(min_chunk, remaining / (2 * static_cast<long>(nth)));
-          const long base = next.fetch_add(take, std::memory_order_relaxed);
-          if (base >= hi) break;
-          body(tid, base, std::min(hi, base + take));
+          const long take = std::min(
+              remaining,
+              std::max(min_chunk, remaining / (2 * static_cast<long>(nth))));
+          if (next.compare_exchange_weak(seen, seen + take,
+                                         std::memory_order_relaxed)) {
+            body(tid, seen, seen + take);
+            seen = next.load(std::memory_order_relaxed);
+          }
         }
       });
       break;
@@ -109,6 +115,28 @@ template <class T> constexpr T ident_max() { return std::numeric_limits<T>::lowe
 template <class T> constexpr T ident_band() { return static_cast<T>(~T{}); }
 template <class T> constexpr T ident_land() { return static_cast<T>(true); }
 
+/// Shared tail of parallel_reduce over an externally provided partials
+/// array (inline stack slots or heap fallback).
+template <class T, class Op, class F>
+T reduce_into(Team& team, long lo, long hi, T identity, Op& op, F& body,
+              Schedule sched, long chunk, Padded<T>* partials,
+              std::size_t num_slots) {
+  parallel_ranges(
+      team, lo, hi,
+      [&](int tid, long range_lo, long range_hi) {
+        auto& slot = partials[static_cast<std::size_t>(tid)].value;
+        T local = slot;
+        for (long i = range_lo; i < range_hi; ++i) local = op(local, body(i));
+        slot = local;
+      },
+      sched, chunk);
+  T result = identity;
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    result = op(result, partials[i].value);
+  }
+  return result;
+}
+
 }  // namespace detail
 
 /// `#pragma omp parallel for`: run body(i) for every i in [lo, hi).
@@ -126,24 +154,27 @@ void parallel_for(Team& team, long lo, long hi, F&& body,
 
 /// `#pragma omp parallel for reduction(op:acc)`: fold body(i) over [lo, hi).
 /// `op(T, T) -> T` must be associative; `identity` is its neutral element.
+///
+/// Teams of up to 16 members keep their padded partials on the caller's
+/// stack (SBO) — hot per-event reductions perform no heap allocation. Wider
+/// teams, and element types that cannot be default-constructed into the
+/// inline slots, fall back to the heap vector.
 template <class T, class Op, class F>
 T parallel_reduce(Team& team, long lo, long hi, T identity, Op op, F&& body,
                   Schedule sched = Schedule::kStatic, long chunk = 0) {
-  std::vector<detail::Padded<T>> partials(
-      static_cast<std::size_t>(team.num_threads()),
-      detail::Padded<T>{identity});
-  parallel_ranges(
-      team, lo, hi,
-      [&](int tid, long range_lo, long range_hi) {
-        auto& slot = partials[static_cast<std::size_t>(tid)].value;
-        T local = slot;
-        for (long i = range_lo; i < range_hi; ++i) local = op(local, body(i));
-        slot = local;
-      },
-      sched, chunk);
-  T result = identity;
-  for (const auto& p : partials) result = op(result, p.value);
-  return result;
+  const auto nth = static_cast<std::size_t>(team.num_threads());
+  constexpr std::size_t kInlineSlots = 16;
+  if constexpr (std::is_default_constructible_v<T>) {
+    if (nth <= kInlineSlots) {
+      detail::Padded<T> partials[kInlineSlots];
+      for (std::size_t i = 0; i < nth; ++i) partials[i].value = identity;
+      return detail::reduce_into(team, lo, hi, identity, op, body, sched,
+                                 chunk, partials, nth);
+    }
+  }
+  std::vector<detail::Padded<T>> partials(nth, detail::Padded<T>{identity});
+  return detail::reduce_into(team, lo, hi, identity, op, body, sched, chunk,
+                             partials.data(), nth);
 }
 
 }  // namespace evmp::fj

@@ -1,6 +1,6 @@
 #include "forkjoin/team.hpp"
 
-#include <atomic>
+#include "common/event_count.hpp"
 
 namespace evmp::fj {
 
@@ -33,11 +33,12 @@ Team::Team(int num_threads) : n_(num_threads < 1 ? 1 : num_threads) {
 }
 
 Team::~Team() {
-  {
-    std::scoped_lock lk(mu_);
-    stopping_ = true;
-  }
-  cv_start_.notify_all();
+  // stopping_ before the epoch bump: a helper woken by the bump must see
+  // the stop flag. Helpers are joined (jthread) before any member dies, so
+  // a straggler mid-notify still addresses live atomics.
+  stopping_.store(true, std::memory_order_release);
+  fork_epoch_.fetch_add(1, std::memory_order_release);
+  fork_epoch_.notify_all();
   helpers_.clear();  // jthread joins
 }
 
@@ -60,26 +61,31 @@ void Team::run_member(int tid, const std::function<void(int, int)>& fn) {
 }
 
 void Team::parallel(const std::function<void(int, int)>& fn) {
+  regions_.fetch_add(1, std::memory_order_relaxed);
   if (n_ == 1) {
     // Degenerate team: run on the encountering thread, but keep the
     // exception contract identical to the multi-threaded path.
-    {
-      std::scoped_lock lk(mu_);
-      ++generation_;
-    }
     run_member(0, fn);
   } else {
-    {
-      std::scoped_lock lk(mu_);
-      task_ = &fn;
-      helpers_done_ = 0;
-      ++generation_;
-    }
-    cv_start_.notify_all();
+    // Fork: publish the task, then open the gate. The epoch's release
+    // bump + the helpers' acquire load order the task_ store before any
+    // helper's read.
+    task_.store(&fn, std::memory_order_release);
+    helpers_done_.store(0, std::memory_order_relaxed);
+    fork_epoch_.fetch_add(1, std::memory_order_release);
+    fork_epoch_.notify_all();
+
     run_member(0, fn);  // master participates (fork-join)
-    std::unique_lock lk(mu_);
-    cv_done_.wait(lk, [&] { return helpers_done_ == n_ - 1; });
-    task_ = nullptr;
+
+    // Join: spin briefly (helpers usually finish within the master's own
+    // tail), then park on the countdown word.
+    common::SpinWait spin;
+    for (;;) {
+      const int done = helpers_done_.load(std::memory_order_acquire);
+      if (done == n_ - 1) break;
+      if (!spin.spin()) helpers_done_.wait(done, std::memory_order_acquire);
+    }
+    task_.store(nullptr, std::memory_order_relaxed);
   }
   std::exception_ptr err;
   {
@@ -92,46 +98,49 @@ void Team::parallel(const std::function<void(int, int)>& fn) {
 
 void Team::helper_main(int tid) {
   std::uint64_t seen = 0;
-  while (true) {
-    const std::function<void(int, int)>* fn = nullptr;
-    {
-      std::unique_lock lk(mu_);
-      cv_start_.wait(lk, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      fn = task_;
+  for (;;) {
+    // Wait for the next fork (or stop): spin-then-park on the epoch word.
+    common::SpinWait spin;
+    std::uint64_t epoch = fork_epoch_.load(std::memory_order_acquire);
+    while (epoch == seen) {
+      if (!spin.spin()) fork_epoch_.wait(seen, std::memory_order_acquire);
+      epoch = fork_epoch_.load(std::memory_order_acquire);
     }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    seen = epoch;
+    const auto* fn = task_.load(std::memory_order_acquire);
     if (fn != nullptr) run_member(tid, *fn);
-    {
-      // Notify under the lock: the master may return from parallel() and
-      // destroy the Team the instant helpers_done_ reaches its target.
-      std::scoped_lock lk(mu_);
-      ++helpers_done_;
-      cv_done_.notify_one();
+    // Countdown; only the final helper pays the wake syscall. The master
+    // may be parked at any intermediate value, but atomic wait re-checks
+    // on wake, and a master parked mid-count is always woken by this final
+    // notify.
+    if (helpers_done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        n_ - 1) {
+      helpers_done_.notify_one();
     }
   }
 }
 
 void Team::barrier() {
-  std::unique_lock lk(bar_mu_);
-  const std::uint64_t gen = bar_generation_;
-  if (++bar_arrived_ == n_) {
-    bar_arrived_ = 0;
-    ++bar_generation_;
-    bar_cv_.notify_all();
+  const std::uint64_t gen = bar_generation_.load(std::memory_order_acquire);
+  if (bar_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    // Last arriver: reset, then release the generation. Threads released
+    // below can only re-arrive after the generation store, so they always
+    // observe the reset count.
+    bar_arrived_.store(0, std::memory_order_relaxed);
+    bar_generation_.fetch_add(1, std::memory_order_release);
+    bar_generation_.notify_all();
   } else {
-    bar_cv_.wait(lk, [&] { return bar_generation_ != gen; });
+    common::SpinWait spin;
+    while (bar_generation_.load(std::memory_order_acquire) == gen) {
+      if (!spin.spin()) bar_generation_.wait(gen, std::memory_order_acquire);
+    }
   }
 }
 
 void Team::critical(const std::function<void()>& fn) {
   std::scoped_lock lk(crit_mu_);
   fn();
-}
-
-std::uint64_t Team::regions() const {
-  std::scoped_lock lk(mu_);
-  return generation_;
 }
 
 }  // namespace evmp::fj

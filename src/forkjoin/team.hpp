@@ -8,8 +8,18 @@
 // member finished. That inherent "join" is exactly what the paper identifies
 // as incompatible with event dispatching (the EDT is trapped in the region),
 // which the benchmarks reproduce via the "synchronous parallel" approach.
+//
+// Synchronisation: fork, join and barrier() are built on C++20 atomic
+// wait/notify with a spin-then-park ladder (common::SpinWait) instead of
+// the previous mutex + two condition variables + mutex-based barrier. A
+// fork is one release store (the task pointer) plus one epoch bump; a
+// helper wakes from the epoch word; the join is an atomic countdown the
+// master spins on briefly before parking; barrier() is sense-reversing on
+// an arrival counter + generation epoch. DESIGN.md §9 documents the
+// protocol. For the per-event-region thread-creation pathology (Figure 9)
+// and its fix, see TeamPool in team_pool.hpp.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -62,7 +72,9 @@ class Team {
   [[nodiscard]] int num_threads() const noexcept { return n_; }
 
   /// Fork-join regions executed so far.
-  [[nodiscard]] std::uint64_t regions() const;
+  [[nodiscard]] std::uint64_t regions() const noexcept {
+    return regions_.load(std::memory_order_relaxed);
+  }
 
  private:
   void helper_main(int tid);
@@ -70,25 +82,32 @@ class Team {
 
   const int n_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int, int)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int helpers_done_ = 0;
-  bool stopping_ = false;
+  // Fork protocol: the master publishes task_ (release), then bumps the
+  // fork epoch (release) and notifies; a helper acquiring the new epoch
+  // therefore sees the task pointer. fork_epoch_ is also bumped (without a
+  // region) at destruction so parked helpers wake and observe stopping_.
+  std::atomic<const std::function<void(int, int)>*> task_{nullptr};
+  std::atomic<std::uint64_t> fork_epoch_{0};
+  std::atomic<std::uint64_t> regions_{0};
+  std::atomic<bool> stopping_{false};
 
-  std::mutex bar_mu_;
-  std::condition_variable bar_cv_;
-  int bar_arrived_ = 0;
-  std::uint64_t bar_generation_ = 0;
+  // Join protocol: helpers count themselves done; the master spins briefly,
+  // then parks on the count. Only the final helper notifies.
+  std::atomic<int> helpers_done_{0};
+
+  // Sense-reversing barrier: arrivals accumulate; the last arriver resets
+  // the count *before* releasing the generation, so the next barrier's
+  // arrivals (which can only start after the release) find zero.
+  std::atomic<int> bar_arrived_{0};
+  std::atomic<std::uint64_t> bar_generation_{0};
 
   std::mutex crit_mu_;
 
   std::mutex err_mu_;
   std::exception_ptr first_error_;
 
-  std::vector<std::jthread> helpers_;  // last member: starts after state init
+  std::vector<std::jthread> helpers_;  // last member: starts after state init,
+                                       // joins (in ~Team) before state dies
 };
 
 }  // namespace evmp::fj

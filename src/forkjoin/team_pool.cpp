@@ -1,0 +1,53 @@
+#include "forkjoin/team_pool.hpp"
+
+namespace evmp::fj {
+
+TeamPool& TeamPool::instance() {
+  // Leaked on purpose (see header): leases unwinding during late static
+  // teardown must find a live pool, and a pool destructor would join
+  // helper threads at exit.
+  static TeamPool* pool = new TeamPool();
+  return *pool;
+}
+
+TeamPool::Lease TeamPool::lease(int width) {
+  if (width < 1) width = 1;
+  leases_granted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lk(mu_);
+    auto it = idle_.find(width);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<Team> team = std::move(it->second.back());
+      it->second.pop_back();
+      return Lease(this, std::move(team));
+    }
+  }
+  // Miss: construct outside the lock (Team's constructor spawns helper
+  // threads; holding mu_ across that would serialise every concurrent
+  // first-touch lease).
+  teams_created_.fetch_add(1, std::memory_order_relaxed);
+  return Lease(this, std::make_unique<Team>(width));
+}
+
+void TeamPool::give_back(std::unique_ptr<Team> team) {
+  std::scoped_lock lk(mu_);
+  idle_[team->num_threads()].push_back(std::move(team));
+}
+
+std::size_t TeamPool::cached() const {
+  std::scoped_lock lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [width, teams] : idle_) total += teams.size();
+  return total;
+}
+
+void TeamPool::clear() {
+  std::unordered_map<int, std::vector<std::unique_ptr<Team>>> drained;
+  {
+    std::scoped_lock lk(mu_);
+    drained.swap(idle_);
+  }
+  // Teams (and their helper joins) die outside the lock.
+}
+
+}  // namespace evmp::fj

@@ -1,0 +1,122 @@
+#pragma once
+// TeamPool: process-wide cache of fork-join teams, leased per parallel
+// region instead of constructed per event.
+//
+// The paper's Figure 9 shows per-event `parallel` regions levelling off
+// because every request handler spawns a fresh helper-thread team — "the
+// total number of threads in the system soars". The reproduction keeps
+// that pathology observable (baselines::kAsyncParallel and the default
+// httpsim EncryptionService path still construct a Team per event), and
+// this pool is the fix the paper's analysis implies: a handler leases a
+// cached team of the width it needs, runs its region, and the lease
+// returns the team — helper threads are created once per (width, peak
+// concurrency) and fj::total_helper_threads_created() stays flat as
+// request load grows (the new pooled series in results/fig9.csv).
+//
+// Leasing rules (DESIGN.md §9):
+//  * lease(width) hands out an idle cached team of exactly that width,
+//    creating one only when none is idle — so the population equals the
+//    peak number of simultaneously active regions per width;
+//  * a Lease is an exclusive handle (move-only RAII): the team is never
+//    shared, so Team's non-reentrancy contract is unchanged;
+//  * returned teams are parked, not destroyed (their helpers cost their
+//    creation once; parked helpers sleep on a futex, not the scheduler);
+//  * the pool itself is a leaked singleton, like common::Tracer: leases
+//    may unwind during late static teardown, and a destructed pool (or
+//    one joining helper threads at exit) would turn every such unwind
+//    into a use-after-free or a join deadlock. The OS reclaims the parked
+//    threads at process exit.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "forkjoin/team.hpp"
+
+namespace evmp::fj {
+
+/// Process-wide lease pool of reusable fork-join teams, keyed by width.
+class TeamPool {
+ public:
+  /// Exclusive RAII handle to a pooled team; returns it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), team_(std::move(other.team_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        team_ = std::move(other.team_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] Team& operator*() const noexcept { return *team_; }
+    [[nodiscard]] Team* operator->() const noexcept { return team_.get(); }
+    explicit operator bool() const noexcept { return team_ != nullptr; }
+
+   private:
+    friend class TeamPool;
+    Lease(TeamPool* pool, std::unique_ptr<Team> team)
+        : pool_(pool), team_(std::move(team)) {}
+
+    void release() noexcept {
+      if (pool_ != nullptr && team_ != nullptr) {
+        pool_->give_back(std::move(team_));
+      }
+      pool_ = nullptr;
+      team_.reset();
+    }
+
+    TeamPool* pool_ = nullptr;
+    std::unique_ptr<Team> team_;
+  };
+
+  /// The process-wide pool (leaked singleton — see header comment).
+  static TeamPool& instance();
+
+  TeamPool() = default;
+  TeamPool(const TeamPool&) = delete;
+  TeamPool& operator=(const TeamPool&) = delete;
+
+  /// Lease an idle team of exactly `width` members, creating one if none
+  /// is cached. width < 1 is clamped to 1.
+  [[nodiscard]] Lease lease(int width);
+
+  /// Teams ever constructed by this pool (flat under steady request load —
+  /// the pooled Figure 9 series).
+  [[nodiscard]] std::uint64_t teams_created() const noexcept {
+    return teams_created_.load(std::memory_order_relaxed);
+  }
+  /// Leases ever granted (cache hits + misses).
+  [[nodiscard]] std::uint64_t leases_granted() const noexcept {
+    return leases_granted_.load(std::memory_order_relaxed);
+  }
+  /// Idle teams currently parked in the cache (all widths).
+  [[nodiscard]] std::size_t cached() const;
+
+  /// Destroy all idle cached teams (tests / memory-pressure hook). Teams
+  /// currently out on lease are unaffected and return to the cache later.
+  void clear();
+
+ private:
+  void give_back(std::unique_ptr<Team> team);
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::vector<std::unique_ptr<Team>>> idle_;
+  std::atomic<std::uint64_t> teams_created_{0};
+  std::atomic<std::uint64_t> leases_granted_{0};
+};
+
+}  // namespace evmp::fj

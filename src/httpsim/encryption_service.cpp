@@ -20,10 +20,16 @@ Response EncryptionService::serve(const Request& request) {
   auto kernel = pool_->acquire();
   std::uint64_t checksum = 0;
   if (cfg_.parallel_width > 1) {
-    // //#omp parallel inside the handler: a fresh team per request,
-    // exactly the per-event parallelisation of Figure 9's "+parallel".
-    fj::Team team(cfg_.parallel_width);
-    checksum = kernel->run_parallel(team);
+    if (cfg_.pooled_team) {
+      // The fix: lease a cached team, so helper-thread creation stays
+      // flat no matter how many requests arrive.
+      checksum = kernel->run_parallel_pooled(cfg_.parallel_width);
+    } else {
+      // //#omp parallel inside the handler: a fresh team per request,
+      // exactly the per-event parallelisation of Figure 9's "+parallel".
+      fj::Team team(cfg_.parallel_width);
+      checksum = kernel->run_parallel(team);
+    }
   } else {
     checksum = kernel->run_sequential();
   }

@@ -27,6 +27,12 @@ class EncryptionService {
   struct Config {
     std::size_t payload_bytes = 64 * 1024;
     int parallel_width = 1;
+    /// With parallel_width > 1: lease the region's team from the
+    /// process-wide fj::TeamPool instead of constructing one per request.
+    /// Off by default — the fresh-team-per-event pathology IS the Figure 9
+    /// reproduction; turning this on is the paper-implied fix (the
+    /// "pooled-team" series in results/fig9.csv).
+    bool pooled_team = false;
     kernels::WorkModel work_model = kernels::WorkModel::kReal;
     common::Nanos per_unit{0};  ///< simulated duration per crypt unit
   };

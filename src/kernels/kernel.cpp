@@ -6,6 +6,7 @@
 
 #include "common/env.hpp"
 #include "common/sync.hpp"
+#include "forkjoin/team_pool.hpp"
 #include "kernels/crypt.hpp"
 #include "kernels/montecarlo.hpp"
 #include "kernels/raytracer.hpp"
@@ -85,6 +86,12 @@ std::uint64_t Kernel::run_sequential() { return process_range(0, units()); }
 std::uint64_t Kernel::run_parallel(fj::Team& team, fj::Schedule sched,
                                    long chunk) {
   return run_parallel_range(team, 0, units(), sched, chunk);
+}
+
+std::uint64_t Kernel::run_parallel_pooled(int width, fj::Schedule sched,
+                                          long chunk) {
+  auto team = fj::TeamPool::instance().lease(width);
+  return run_parallel(*team, sched, chunk);
 }
 
 std::uint64_t Kernel::run_parallel_range(fj::Team& team, long range_lo,

@@ -90,6 +90,13 @@ class Kernel {
                              fj::Schedule sched = fj::Schedule::kStatic,
                              long chunk = 0);
 
+  /// Full run across a team of `width` leased from the process-wide
+  /// fj::TeamPool — per-event handlers get fork-join parallelism without
+  /// creating helper threads per event (the Figure 9 fix).
+  std::uint64_t run_parallel_pooled(int width,
+                                    fj::Schedule sched = fj::Schedule::kStatic,
+                                    long chunk = 0);
+
   /// Parallel run restricted to units [lo, hi) — used by handlers that
   /// interleave GUI progress updates between kernel halves. Virtual so
   /// kernels with cross-unit ordering constraints (e.g. SOR's red/black

@@ -252,14 +252,14 @@ TEST(Translator, ParallelForBecomesWorksharing) {
   EXPECT_NE(r.output.find("int i = static_cast<int>"), std::string::npos);
 }
 
-TEST(Translator, ParallelForWithNumThreadsBuildsTeam) {
+TEST(Translator, ParallelForWithNumThreadsLeasesPooledTeam) {
   const auto r = translate_source(
       "#pragma omp parallel for num_threads(4)\n"
       "for (long i = 0; i < 10; ++i) f(i);\n",
       no_include());
-  EXPECT_NE(r.output.find("::evmp::fj::Team __evmp_team_0"),
+  EXPECT_NE(r.output.find("::evmp::fj::TeamPool::instance().lease"),
             std::string::npos);
-  EXPECT_NE(r.output.find("parallel_for(__evmp_team_0"), std::string::npos);
+  EXPECT_NE(r.output.find("parallel_for(*__evmp_team_0"), std::string::npos);
 }
 
 TEST(Translator, ReductionGeneratesPartialsAndCombine) {
@@ -285,7 +285,9 @@ TEST(Translator, PragmaLineContinuation) {
 TEST(Translator, ParallelRegionUsesTeam) {
   const auto r = translate_source(
       "//#omp parallel num_threads(2)\n{ g(); }\n", no_include());
-  EXPECT_NE(r.output.find(".parallel(__evmp_region_0)"), std::string::npos);
+  EXPECT_NE(r.output.find("::evmp::fj::TeamPool::instance().lease"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("->parallel(__evmp_region_0)"), std::string::npos);
 }
 
 TEST(Translator, ParallelForMissingLoopIsAnError) {

@@ -13,6 +13,7 @@
 
 #include "forkjoin/parallel_for.hpp"
 #include "forkjoin/team.hpp"
+#include "forkjoin/team_pool.hpp"
 
 namespace evmp::fj {
 namespace {
@@ -251,8 +252,129 @@ INSTANTIATE_TEST_SUITE_P(
         ScheduleCase{Schedule::kDynamic, 64, 2, 100},  // chunk > range
         ScheduleCase{Schedule::kGuided, 0, 4, 100},
         ScheduleCase{Schedule::kGuided, 8, 3, 1000},
-        ScheduleCase{Schedule::kGuided, 1, 2, 7}),
+        ScheduleCase{Schedule::kGuided, 1, 2, 7},
+        ScheduleCase{Schedule::kGuided, 16, 4, 17},   // chunk ~ range
+        ScheduleCase{Schedule::kGuided, 64, 2, 10},   // chunk > range
+        ScheduleCase{Schedule::kGuided, 0, 8, 10000}),
     case_name);
+
+TEST(ParallelRanges, GuidedClaimsNeverExceedBounds) {
+  // Regression: the guided schedule used to fetch_add each exiting thread's
+  // chunk past `hi`, overshooting the shared counter on every loop. With
+  // the CAS-clamped claim every assigned range must sit inside [lo, hi)
+  // and cover the range exactly — even when run back-to-back many times
+  // (the creep-toward-overflow scenario).
+  Team team(4);
+  for (int round = 0; round < 50; ++round) {
+    constexpr long kLo = 0;
+    constexpr long kHi = 497;
+    std::atomic<long> covered{0};
+    std::atomic<long> max_hi{kLo};
+    parallel_ranges(
+        team, kLo, kHi,
+        [&](int, long lo, long hi) {
+          EXPECT_GE(lo, kLo);
+          EXPECT_LE(hi, kHi);
+          EXPECT_LT(lo, hi);
+          covered.fetch_add(hi - lo);
+          long seen = max_hi.load();
+          while (hi > seen && !max_hi.compare_exchange_weak(seen, hi)) {
+          }
+        },
+        Schedule::kGuided, 3);
+    EXPECT_EQ(covered.load(), kHi - kLo);  // exact partition, no overshoot
+    EXPECT_EQ(max_hi.load(), kHi);
+  }
+}
+
+TEST(ParallelReduce, WideTeamFallsBackToHeapSlots) {
+  // Teams wider than the 16 inline SBO slots take the vector path; the
+  // result must be identical.
+  Team team(18);
+  const auto sum = parallel_reduce(
+      team, 0, 5000, 0L, [](long a, long b) { return a + b; },
+      [](long i) { return i; }, Schedule::kDynamic, 16);
+  EXPECT_EQ(sum, 5000L * 4999 / 2);
+}
+
+// ---- TeamPool -------------------------------------------------------------
+
+TEST(TeamPool, LeaseReusesReturnedTeams) {
+  TeamPool pool;
+  const auto created_before = pool.teams_created();
+  {
+    auto lease = pool.lease(3);
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease->num_threads(), 3);
+    std::atomic<int> ran{0};
+    lease->parallel([&](int, int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 3);
+  }  // team returns to the pool here
+  EXPECT_EQ(pool.cached(), 1u);
+  {
+    auto lease = pool.lease(3);
+    EXPECT_EQ(pool.cached(), 0u);  // cache hit, not a new team
+  }
+  EXPECT_EQ(pool.teams_created(), created_before + 1);
+  EXPECT_EQ(pool.leases_granted(), 2u);
+}
+
+TEST(TeamPool, DistinctWidthsGetDistinctTeams) {
+  TeamPool pool;
+  auto a = pool.lease(2);
+  auto b = pool.lease(4);
+  EXPECT_EQ(a->num_threads(), 2);
+  EXPECT_EQ(b->num_threads(), 4);
+  EXPECT_EQ(pool.teams_created(), 2u);
+}
+
+TEST(TeamPool, ConcurrentLeasesGetExclusiveTeams) {
+  // Two threads leasing the same width concurrently must never share a
+  // team (Team is not reentrant); the pool grows to the peak concurrency.
+  TeamPool pool;
+  std::atomic<int> total{0};
+  std::vector<std::thread> users;
+  users.reserve(4);
+  for (int u = 0; u < 4; ++u) {
+    users.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto lease = pool.lease(2);
+        lease->parallel([&](int, int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  EXPECT_EQ(total.load(), 4 * 25 * 2);
+  EXPECT_LE(pool.teams_created(), 4u);  // at most one per concurrent user
+  EXPECT_GE(pool.teams_created(), 1u);
+}
+
+TEST(TeamPool, PooledRegionsKeepHelperCreationFlat) {
+  // The Figure 9 fix, asserted: N pooled regions create helpers once; N
+  // fresh teams would create helpers N times.
+  TeamPool pool;
+  const auto helpers_before = total_helper_threads_created();
+  for (int i = 0; i < 100; ++i) {
+    auto lease = pool.lease(3);
+    lease->parallel([](int, int) {});
+  }
+  EXPECT_EQ(total_helper_threads_created() - helpers_before, 2u);
+  EXPECT_EQ(pool.teams_created(), 1u);
+}
+
+TEST(TeamPool, ClearDropsIdleTeams) {
+  TeamPool pool;
+  { auto lease = pool.lease(2); }
+  EXPECT_EQ(pool.cached(), 1u);
+  pool.clear();
+  EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(TeamPool, InstanceIsProcessWide) {
+  auto& a = TeamPool::instance();
+  auto& b = TeamPool::instance();
+  EXPECT_EQ(&a, &b);
+}
 
 }  // namespace
 }  // namespace evmp::fj

@@ -179,7 +179,28 @@ TEST(WorkStealing, CountersAccount) {
   ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
   pool.shutdown();
   EXPECT_EQ(pool.tasks_executed(), 50u);
-  EXPECT_EQ(pool.local_pops() + pool.steals(), 50u);
+  // Foreign posts arrive via the injection queue; worker-local spawn would
+  // show up as local pops or steals. Every executed task is attributed to
+  // exactly one source.
+  EXPECT_EQ(pool.local_pops() + pool.steals() + pool.injection_pops(), 50u);
+}
+
+TEST(WorkStealing, WorkerSelfPostsUseOwnDeque) {
+  // A task that spawns children from a worker thread must push them to its
+  // own Chase–Lev deque (local pops / steals), not the injection queue.
+  WorkStealingExecutor pool("ws", 2);
+  common::CountdownLatch latch(9);
+  pool.post([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.post([&] { latch.count_down(); });
+    }
+    latch.count_down();
+  });
+  ASSERT_TRUE(latch.wait_for(std::chrono::seconds{10}));
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_executed(), 9u);
+  EXPECT_EQ(pool.injection_pops(), 1u);  // only the foreign seeding post
+  EXPECT_EQ(pool.local_pops() + pool.steals(), 8u);
 }
 
 }  // namespace
