@@ -8,6 +8,9 @@
 #include <string>
 #include <utility>
 
+#include "analysis/capture_analysis.hpp"
+#include "analysis/mhp.hpp"
+
 namespace evmp::analysis {
 
 namespace {
@@ -421,30 +424,191 @@ void check_loop_captures(const DirectiveGraph& graph,
   }
 }
 
+// --- E4 / W3: cross-region data races over the MHP relation --------------
+
+/// True when the byte range between the two positions never leaves a
+/// function body (absolute brace depth stays >= 1). Regions in different
+/// functions share no stack frame, so same-named captures are different
+/// variables — the race rules are intra-procedural.
+bool same_function(const compiler::SourceScanner& scanner, std::size_t a,
+                   std::size_t b) {
+  const auto src = scanner.source();
+  const std::size_t from = std::min(a, b);
+  const std::size_t to = std::max(a, b);
+  int depth = 0;
+  for (std::size_t i = 0; i < from; ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src[i] == '{') ++depth;
+    if (src[i] == '}') --depth;
+  }
+  if (depth <= 0) return false;
+  for (std::size_t i = from; i < to; ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src[i] == '{') ++depth;
+    if (src[i] == '}') --depth;
+    if (depth <= 0) return false;
+  }
+  return true;
+}
+
+void check_data_races(const DirectiveGraph& graph,
+                      std::vector<Diagnostic>& out) {
+  const std::vector<RegionAccesses> regions = analyze_captures(graph);
+  if (regions.size() < 2) return;
+  const auto& nodes = graph.nodes();
+  const MhpRelation mhp(graph);
+
+  // One diagnostic per (anchor line, variable), strongest severity wins.
+  std::map<std::pair<int, std::string>, Diagnostic> reports;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const int a = regions[i].node;
+      const int b = regions[j].node;
+      const RegionNode& na = nodes[static_cast<std::size_t>(a)];
+      const RegionNode& nb = nodes[static_cast<std::size_t>(b)];
+      if (na.directive.target_name() == kEdtName &&
+          nb.directive.target_name() == kEdtName) {
+        continue;  // one serial event loop: the regions mutually exclude
+      }
+      if (!same_function(graph.scanner(), na.directive_begin,
+                         nb.directive_begin)) {
+        continue;
+      }
+      if (!mhp.may_happen_in_parallel(a, b)) continue;
+      for (const VarAccess& x : regions[i].accesses) {
+        for (const VarAccess& y : regions[j].accesses) {
+          if (x.name != y.name) continue;
+          if (!x.write && !y.write) continue;
+          // Access-level refinement: a wait(tag) inside a region can
+          // order individual statements even when the regions overlap.
+          if (mhp.completes_before(a, b, y.pos)) continue;
+          if (mhp.completes_before(b, a, x.pos)) continue;
+          const bool definite =
+              x.direct && y.direct && !x.conditional && !y.conditional;
+          const char* shape = nullptr;
+          if (x.write && y.write) {
+            shape = "written by this region and by the concurrent region";
+          } else if (y.write) {
+            shape = "written by this region and read by the concurrent region";
+          } else {
+            shape = "read by this region and written by the concurrent region";
+          }
+          std::string message =
+              std::string(definite ? "data race: captured variable '"
+                                   : "possible data race: captured variable '") +
+              x.name + "' is " + shape + " at line " +
+              std::to_string(na.directive.line) +
+              " with no ordering between them — join the producer "
+              "(blocking dispatch, await, or wait(tag)) or privatize with "
+              "firstprivate(" +
+              x.name + ")";
+          if (!definite) {
+            message += " [conditional or indirect access; confirm with "
+                       "EVMP_RACECHECK=1]";
+          }
+          const Diagnostic diag{definite ? "E4" : "W3",
+                                definite ? Severity::kError
+                                         : Severity::kWarning,
+                                nb.directive.line, std::move(message)};
+          const auto key = std::make_pair(diag.line, x.name);
+          const auto it = reports.find(key);
+          if (it == reports.end()) {
+            reports.emplace(key, diag);
+          } else if (it->second.rule == "W3" && diag.rule == "E4") {
+            it->second = diag;
+          }
+        }
+      }
+    }
+  }
+  for (auto& [key, diag] : reports) out.push_back(std::move(diag));
+}
+
+// --- evmp-lint-ignore suppression comments --------------------------------
+
+std::map<int, std::set<std::string>> collect_ignores(
+    const compiler::SourceScanner& scanner) {
+  constexpr std::string_view kMarker = "evmp-lint-ignore";
+  const auto src = scanner.source();
+  std::map<int, std::set<std::string>> out;
+  for (std::size_t i = 0; i + kMarker.size() <= src.size(); ++i) {
+    if (!scanner.is_comment(i)) continue;
+    if (src.compare(i, kMarker.size(), kMarker) != 0) continue;
+    std::set<std::string> rules;
+    std::size_t j = i + kMarker.size();
+    while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) ++j;
+    if (j < src.size() && src[j] == '(') {
+      ++j;
+      std::string current;
+      while (j < src.size() && src[j] != ')' && src[j] != '\n') {
+        const char c = src[j++];
+        if (c == ',') {
+          if (!current.empty()) rules.insert(current);
+          current.clear();
+        } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          current += c;
+        }
+      }
+      if (!current.empty()) rules.insert(current);
+    }
+    if (rules.empty()) rules.insert("*");  // bare marker: all rules
+    out[scanner.line_of(i)].insert(rules.begin(), rules.end());
+    i += kMarker.size() - 1;
+  }
+  return out;
+}
+
+void filter_ignored(std::vector<Diagnostic>& diags,
+                    const compiler::SourceScanner& scanner) {
+  const std::map<int, std::set<std::string>> ignores = collect_ignores(scanner);
+  if (ignores.empty()) return;
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    for (const int line : {d.line, d.line - 1}) {
+      const auto it = ignores.find(line);
+      if (it != ignores.end() &&
+          (it->second.count("*") != 0 || it->second.count(d.rule) != 0)) {
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
 }  // namespace
 
-std::vector<Diagnostic> analyze(const DirectiveGraph& graph) {
+std::vector<Diagnostic> analyze(const DirectiveGraph& graph,
+                                const AnalyzeOptions& options) {
   std::vector<Diagnostic> out;
   check_blocking_context(graph, out);
   check_blocking_cycles(graph, out);
   check_tag_pairing(graph, out);
   check_loop_captures(graph, out);
+  check_data_races(graph, out);
+  if (options.honor_ignores) filter_ignored(out, graph.scanner());
   sort_diagnostics(out);
   return out;
 }
 
-std::vector<Diagnostic> analyze_source(std::string_view source) {
+std::vector<Diagnostic> analyze_source(std::string_view source,
+                                       const AnalyzeOptions& options) {
   try {
     const DirectiveGraph graph(source);
-    return analyze(graph);
+    return analyze(graph, options);
   } catch (const compiler::TranslateError& e) {
     // Strip the "line N: " prefix the exception bakes into what(); the
     // diagnostic carries the line separately.
     std::string message = e.what();
     const std::string prefix = "line " + std::to_string(e.line()) + ": ";
     if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
-    return {{"P1", Severity::kError, e.line(),
-             "directive does not parse: " + message}};
+    std::vector<Diagnostic> diags{{"P1", Severity::kError, e.line(),
+                                   "directive does not parse: " + message}};
+    if (options.honor_ignores) {
+      // The scan-only classifier never throws, so suppression comments
+      // still apply to parse failures.
+      const compiler::SourceScanner scanner(source);
+      filter_ignored(diags, scanner);
+    }
+    return diags;
   }
 }
 

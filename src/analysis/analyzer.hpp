@@ -1,7 +1,7 @@
 #pragma once
 // The evmpcc directive lint: rule passes over a DirectiveGraph.
 //
-// Rules (see DESIGN.md §8):
+// Rules (see DESIGN.md §8 and §10):
 //   E1 (error)   blocking default-mode dispatch to a virtual target from a
 //                region already running on that same target — the busy
 //                serial executor deadlocks on itself; the thread-context
@@ -12,17 +12,31 @@
 //   E3 (error)   cyclic blocking chain between two or more virtual
 //                targets, through default-mode dispatches and/or
 //                wait(tag) joins of name_as producers.
+//   E4 (error)   data race: a variable captured by reference is written
+//                by one target region and read or written by another,
+//                the two regions may happen in parallel (MHP — no
+//                containment, blocking-dispatch, or wait(tag) ordering),
+//                and both accesses are unconditional and direct.
 //   W1 (warning) wait(tag) with no name_as(tag) producer in the TU, and
 //                name_as tags never joined by a wait.
 //   W2 (warning) heuristic: an async (nowait/name_as) region captures the
 //                surrounding loop's control variable by reference — the
 //                region may outlive the iteration; suggest firstprivate.
+//   W3 (warning) heuristic data race: same as E4 but at least one access
+//                is conditional or pointer/element/member-mediated, so
+//                the conflict may not materialize. EVMP_RACECHECK
+//                (race_check.hpp) confirms these at runtime.
 //   P1 (error)   a directive the parser rejects (duplicate clauses,
 //                unknown clauses, malformed arguments).
 //
 // `await` dispatches never produce blocking edges: the logical barrier
 // pumps the encountering thread's own queue (Algorithm 1 lines 13-16), so
 // it cannot hard-deadlock a serial executor.
+//
+// Any rule can be suppressed per-site with a comment on the diagnostic's
+// line or the line above:  // evmp-lint-ignore(E4)  — a bare
+// `evmp-lint-ignore` or `evmp-lint-ignore(*)` suppresses every rule.
+// `--no-ignores` (AnalyzeOptions::honor_ignores = false) audits past them.
 
 #include <string_view>
 #include <vector>
@@ -32,12 +46,21 @@
 
 namespace evmp::analysis {
 
+/// Knobs shared by every rule pass.
+struct AnalyzeOptions {
+  /// Honor `// evmp-lint-ignore(<rules>)` suppression comments. The
+  /// evmpcc `--no-ignores` flag clears this for CI audits.
+  bool honor_ignores = true;
+};
+
 /// Run every rule pass over an already-built graph. Diagnostics come back
 /// sorted by (line, rule).
-[[nodiscard]] std::vector<Diagnostic> analyze(const DirectiveGraph& graph);
+[[nodiscard]] std::vector<Diagnostic> analyze(const DirectiveGraph& graph,
+                                              const AnalyzeOptions& options = {});
 
 /// Convenience: build the graph and analyze. A TranslateError during the
 /// build becomes a single P1 error diagnostic instead of propagating.
-[[nodiscard]] std::vector<Diagnostic> analyze_source(std::string_view source);
+[[nodiscard]] std::vector<Diagnostic> analyze_source(
+    std::string_view source, const AnalyzeOptions& options = {});
 
 }  // namespace evmp::analysis

@@ -1,0 +1,463 @@
+#include "analysis/capture_analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "compilerlib/directive.hpp"
+#include "compilerlib/source_scanner.hpp"
+
+namespace evmp::analysis {
+
+namespace {
+
+using compiler::CharClass;
+using compiler::SourceScanner;
+using Kind = compiler::Directive::Kind;
+
+bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+bool is_ws(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+const std::unordered_set<std::string_view>& keywords() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "alignas",   "alignof",      "asm",           "auto",
+      "bool",      "break",        "case",          "catch",
+      "char",      "char8_t",      "char16_t",      "char32_t",
+      "class",     "concept",      "const",         "consteval",
+      "constexpr", "constinit",    "const_cast",    "continue",
+      "co_await",  "co_return",    "co_yield",      "decltype",
+      "default",   "delete",       "do",            "double",
+      "dynamic_cast", "else",      "enum",          "explicit",
+      "export",    "extern",       "false",         "final",
+      "float",     "for",          "friend",        "goto",
+      "if",        "inline",       "int",           "long",
+      "mutable",   "namespace",    "new",           "noexcept",
+      "nullptr",   "operator",     "override",      "private",
+      "protected", "public",       "register",      "reinterpret_cast",
+      "requires",  "return",       "short",         "signed",
+      "sizeof",    "static",       "static_assert", "static_cast",
+      "struct",    "switch",       "template",      "this",
+      "thread_local", "throw",     "true",          "try",
+      "typedef",   "typeid",       "typename",      "union",
+      "unsigned",  "using",        "virtual",       "void",
+      "volatile",  "wchar_t",      "while",
+  };
+  return kSet;
+}
+
+// Tokens after which an identifier is an expression operand, not the
+// name being declared (`return total;` does not declare `total`).
+const std::unordered_set<std::string_view>& non_declaring_intro() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "return",   "throw",    "case",     "goto",  "new",  "delete",
+      "sizeof",   "co_await", "co_return", "co_yield", "else", "do",
+      "typeid",   "operator",
+  };
+  return kSet;
+}
+
+// Methods commonly observing, not mutating — keeps `box.size()` a read
+// instead of a heuristic write. Anything not listed is assumed mutating.
+const std::unordered_set<std::string_view>& observer_methods() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "at",    "back",     "begin",  "c_str", "capacity", "cbegin",
+      "cend",  "contains", "count",  "data",  "empty",    "end",
+      "find",  "front",    "get",    "load",  "length",   "size",
+      "str",   "top",      "value",  "value_or",
+  };
+  return kSet;
+}
+
+bool at_line_start(std::string_view src, std::size_t pos) {
+  while (pos > 0) {
+    const char c = src[pos - 1];
+    if (c == '\n') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+    --pos;
+  }
+  return true;
+}
+
+// One past the end of a preprocessor logical line (honors `\` splices).
+std::size_t preprocessor_end(std::string_view src, std::size_t pos) {
+  while (pos < src.size()) {
+    if (src[pos] == '\n') {
+      std::size_t back = pos;
+      while (back > 0 && src[back - 1] == '\r') --back;
+      if (back > 0 && src[back - 1] == '\\') {
+        ++pos;
+        continue;
+      }
+      return pos + 1;
+    }
+    ++pos;
+  }
+  return pos;
+}
+
+std::optional<std::size_t> prev_code_nonws(std::string_view src,
+                                           const SourceScanner& sc,
+                                           std::size_t from,
+                                           std::size_t floor) {
+  std::size_t i = from;
+  while (i > floor) {
+    --i;
+    if (sc.at(i) != CharClass::kCode) continue;
+    if (is_ws(src[i])) continue;
+    return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> next_code_nonws(std::string_view src,
+                                           const SourceScanner& sc,
+                                           std::size_t from,
+                                           std::size_t limit) {
+  for (std::size_t i = from; i < limit; ++i) {
+    if (sc.at(i) != CharClass::kCode) continue;
+    if (is_ws(src[i])) continue;
+    return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> match_forward(std::string_view src,
+                                         const SourceScanner& sc,
+                                         std::size_t open_pos, char open,
+                                         char close, std::size_t limit) {
+  int depth = 0;
+  for (std::size_t i = open_pos; i < limit; ++i) {
+    if (sc.at(i) != CharClass::kCode) continue;
+    if (src[i] == open) ++depth;
+    if (src[i] == close && --depth == 0) return i;
+  }
+  return std::nullopt;
+}
+
+// Read the identifier token ending at (inclusive) position `last`.
+std::string_view token_ending_at(std::string_view src, std::size_t last,
+                                 std::size_t floor) {
+  std::size_t begin = last;
+  while (begin > floor && is_ident_char(src[begin - 1])) --begin;
+  return src.substr(begin, last - begin + 1);
+}
+
+struct SpanSet {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // sorted
+
+  // If pos is inside a span, the span's end; otherwise nullopt.
+  [[nodiscard]] std::optional<std::size_t> skip_to(std::size_t pos) const {
+    for (const auto& [begin, end] : spans) {
+      if (pos >= begin && pos < end) return end;
+      if (begin > pos) break;
+    }
+    return std::nullopt;
+  }
+};
+
+// Marks bytes lexically under control flow (if/else/loops/switch/catch)
+// inside [block_begin, block_end), skipping excluded spans.
+std::vector<char> conditional_mask(const SourceScanner& sc,
+                                   std::size_t block_begin,
+                                   std::size_t block_end,
+                                   const SpanSet& excluded) {
+  const std::string_view src = sc.source();
+  std::vector<char> mask(block_end - block_begin, 0);
+  const auto mark = [&](std::size_t from, std::size_t to) {
+    from = std::max(from, block_begin);
+    to = std::min(to, block_end);
+    for (std::size_t i = from; i < to; ++i) mask[i - block_begin] = 1;
+  };
+  std::size_t pos = block_begin;
+  while (pos < block_end) {
+    if (const auto jump = excluded.skip_to(pos)) {
+      pos = *jump;
+      continue;
+    }
+    if (sc.at(pos) != CharClass::kCode) {
+      ++pos;
+      continue;
+    }
+    const char c = src[pos];
+    if (c == '#' && at_line_start(src, pos)) {
+      pos = preprocessor_end(src, pos);
+      continue;
+    }
+    if (!is_ident_start(c) ||
+        (pos > block_begin && is_ident_char(src[pos - 1]))) {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < block_end && is_ident_char(src[end])) ++end;
+    const std::string_view token = src.substr(pos, end - pos);
+    const std::size_t kw_pos = pos;
+    pos = end;
+    const bool paren_headed = token == "if" || token == "for" ||
+                              token == "while" || token == "switch" ||
+                              token == "catch";
+    if (!paren_headed && token != "else") continue;
+    try {
+      std::size_t body_from = end;
+      if (paren_headed) {
+        const auto open = next_code_nonws(src, sc, end, block_end);
+        if (!open || src[*open] != '(') continue;
+        const auto close =
+            match_forward(src, sc, *open, '(', ')', block_end);
+        if (!close) continue;
+        body_from = *close + 1;
+      } else {
+        // `else if` is handled when the scan reaches the `if` token.
+        const auto next = next_code_nonws(src, sc, end, block_end);
+        if (next && src.substr(*next, 2) == "if" &&
+            (*next + 2 >= block_end || !is_ident_char(src[*next + 2]))) {
+          continue;
+        }
+      }
+      const auto body = sc.extract_block(body_from);
+      mark(kw_pos, body.end);
+    } catch (const compiler::TranslateError&) {
+      mark(kw_pos, block_end);  // unparsable body: conservatively cover
+    }
+  }
+  return mask;
+}
+
+struct Classified {
+  bool write = false;
+  bool direct = true;
+};
+
+// Classify the use of the identifier spanning [s, e) given its lexical
+// neighborhood. `deref` / `addr_of` are precomputed prefix contexts.
+Classified classify_use(std::string_view src, const SourceScanner& sc,
+                        std::size_t s, std::size_t e, bool deref,
+                        bool addr_of, std::size_t limit) {
+  Classified out;
+  if (addr_of) {
+    out.write = true;  // &v escapes: callee may mutate through the pointer
+    out.direct = false;
+    return out;
+  }
+  const auto is_compound_at = [&](std::size_t i) {
+    if (i >= limit) return false;
+    const char c0 = src[i];
+    if ((c0 == '+' || c0 == '-' || c0 == '*' || c0 == '/' || c0 == '%' ||
+         c0 == '&' || c0 == '|' || c0 == '^') &&
+        i + 1 < limit && src[i + 1] == '=') {
+      return true;
+    }
+    return (c0 == '<' || c0 == '>') && i + 2 < limit && src[i + 1] == c0 &&
+           src[i + 2] == '=';
+  };
+  const auto is_plain_assign_at = [&](std::size_t i) {
+    return i < limit && src[i] == '=' && (i + 1 >= limit || src[i + 1] != '=');
+  };
+  const auto prev = prev_code_nonws(src, sc, s, 0);
+  if (prev && *prev > 0 &&
+      ((src[*prev] == '+' && src[*prev - 1] == '+') ||
+       (src[*prev] == '-' && src[*prev - 1] == '-'))) {
+    out.write = true;  // pre-increment / pre-decrement
+    return out;
+  }
+  const auto next = next_code_nonws(src, sc, e, limit);
+  if (!next) {
+    out.direct = !deref;
+    return out;
+  }
+  const std::size_t n = *next;
+  const char c = src[n];
+  if ((c == '+' || c == '-') && n + 1 < limit && src[n + 1] == c) {
+    out.write = true;  // post-increment / post-decrement
+    return out;
+  }
+  if (is_plain_assign_at(n) || is_compound_at(n)) {
+    out.write = true;
+    out.direct = !deref;
+    return out;
+  }
+  if (c == '[') {
+    out.direct = false;
+    const auto close = match_forward(src, sc, n, '[', ']', limit);
+    if (!close) return out;
+    const auto after = next_code_nonws(src, sc, *close + 1, limit);
+    if (after &&
+        (is_plain_assign_at(*after) || is_compound_at(*after) ||
+         src[*after] == '.' ||
+         (src[*after] == '-' && *after + 1 < limit &&
+          src[*after + 1] == '>') ||
+         ((src[*after] == '+' || src[*after] == '-') && *after + 1 < limit &&
+          src[*after + 1] == src[*after]))) {
+      out.write = true;  // v[i] = ..., v[i] += ..., v[i].mutate()
+    }
+    return out;
+  }
+  if (c == '.' || (c == '-' && n + 1 < limit && src[n + 1] == '>')) {
+    out.direct = false;
+    const std::size_t member_from = n + (c == '.' ? 1 : 2);
+    const auto member = next_code_nonws(src, sc, member_from, limit);
+    if (!member || !is_ident_start(src[*member])) return out;
+    std::size_t member_end = *member;
+    while (member_end < limit && is_ident_char(src[member_end])) ++member_end;
+    const std::string_view name = src.substr(*member, member_end - *member);
+    const auto after = next_code_nonws(src, sc, member_end, limit);
+    if (after && src[*after] == '(') {
+      out.write = observer_methods().count(name) == 0;  // method may mutate
+    } else if (after &&
+               (is_plain_assign_at(*after) || is_compound_at(*after))) {
+      out.write = true;  // data-member store
+    }
+    return out;
+  }
+  if (c == '(') {
+    return out;  // callable capture invoked: reads the binding
+  }
+  out.direct = !deref;
+  return out;
+}
+
+}  // namespace
+
+std::vector<RegionAccesses> analyze_captures(const DirectiveGraph& graph) {
+  const SourceScanner& sc = graph.scanner();
+  const std::string_view src = sc.source();
+  const auto& nodes = graph.nodes();
+  std::vector<RegionAccesses> out;
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const RegionNode& node = nodes[i];
+    if (node.directive.kind != Kind::kTarget) continue;
+    if (node.block_end <= node.block_begin) continue;
+    if (node.directive.default_none) continue;
+
+    // Nested target regions report their accesses under their own node.
+    SpanSet excluded;
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (j == i || nodes[j].directive.kind != Kind::kTarget) continue;
+      if (nodes[j].directive_begin < node.block_begin ||
+          nodes[j].directive_begin >= node.block_end) {
+        continue;
+      }
+      excluded.spans.emplace_back(nodes[j].directive_begin,
+                                  nodes[j].block_end);
+    }
+    std::sort(excluded.spans.begin(), excluded.spans.end());
+
+    const std::vector<char> cond =
+        conditional_mask(sc, node.block_begin, node.block_end, excluded);
+
+    RegionAccesses region;
+    region.node = static_cast<int>(i);
+    std::unordered_set<std::string> locals;
+
+    std::size_t pos = node.block_begin;
+    while (pos < node.block_end) {
+      if (const auto jump = excluded.skip_to(pos)) {
+        pos = *jump;
+        continue;
+      }
+      if (sc.at(pos) != CharClass::kCode) {
+        ++pos;
+        continue;
+      }
+      const char first = src[pos];
+      if (first == '#' && at_line_start(src, pos)) {
+        pos = preprocessor_end(src, pos);
+        continue;
+      }
+      if (!is_ident_start(first) ||
+          (pos > node.block_begin && is_ident_char(src[pos - 1]))) {
+        ++pos;
+        continue;
+      }
+      const std::size_t s = pos;
+      std::size_t e = pos;
+      while (e < node.block_end && is_ident_char(src[e])) ++e;
+      pos = e;
+      const std::string_view token = src.substr(s, e - s);
+      if (keywords().count(token) != 0) continue;
+
+      const auto prev = prev_code_nonws(src, sc, s, node.block_begin);
+      const char prevc = prev ? src[*prev] : '\0';
+      // Qualified names and member selections are not variable uses.
+      if (prevc == ':' && *prev > 0 && src[*prev - 1] == ':') continue;
+      if (prevc == '.') continue;
+      if (prevc == '>' && *prev > 0 && src[*prev - 1] == '-') continue;
+      const auto next = next_code_nonws(src, sc, e, node.block_end);
+      if (next && src[*next] == ':' && *next + 1 < node.block_end &&
+          src[*next + 1] == ':') {
+        continue;  // namespace/class prefix
+      }
+
+      // Declaration detection: is this identifier the name being
+      // introduced? (`int total`, `auto& feed`, `std::vector<int> v`)
+      bool decl = false;
+      bool deref = false;
+      bool addr_of = false;
+      if (prev) {
+        if (is_ident_char(prevc)) {
+          const std::string_view intro =
+              token_ending_at(src, *prev, node.block_begin);
+          decl = non_declaring_intro().count(intro) == 0;
+        } else if (prevc == '&' || prevc == '*') {
+          std::size_t run_end = *prev + 1;
+          std::size_t run_begin = *prev;
+          while (run_begin > node.block_begin &&
+                 (src[run_begin - 1] == '&' || src[run_begin - 1] == '*')) {
+            --run_begin;
+          }
+          const std::size_t run_len = run_end - run_begin;
+          const auto before =
+              prev_code_nonws(src, sc, run_begin, node.block_begin);
+          const bool type_prefix =
+              before && (is_ident_char(src[*before]) || src[*before] == '>');
+          if (run_len >= 2 && prevc == '&') {
+            decl = false;  // logical && — plain operand use
+          } else if (type_prefix) {
+            decl = true;  // `int* p`, `const auto& feed`
+          } else if (prevc == '*') {
+            deref = true;  // `*p = ...` writes through the capture
+          } else {
+            addr_of = true;  // `f(&v)` — pointer escape
+          }
+        } else if (prevc == '>') {
+          decl = true;  // template-argument close: `std::vector<T> name`
+        }
+      }
+      if (decl) {
+        locals.insert(std::string(token));
+        continue;
+      }
+      if (locals.count(std::string(token)) != 0) continue;
+      const auto& fp = node.directive.firstprivate;
+      if (std::find(fp.begin(), fp.end(), token) != fp.end()) continue;
+
+      const Classified use =
+          classify_use(src, sc, s, e, deref, addr_of, node.block_end);
+      VarAccess access;
+      access.name = std::string(token);
+      access.pos = s;
+      access.line = sc.line_of(s);
+      access.write = use.write;
+      access.direct = use.direct;
+      access.conditional = cond[s - node.block_begin] != 0;
+      region.accesses.push_back(std::move(access));
+    }
+    out.push_back(std::move(region));
+  }
+  return out;
+}
+
+}  // namespace evmp::analysis

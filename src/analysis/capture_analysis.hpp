@@ -1,0 +1,56 @@
+#pragma once
+// Capture/access dataflow for the cross-region race rules (E4/W3).
+//
+// For every target region with a structured block, scans the block's
+// code bytes (nested target regions, comments, strings, and preprocessor
+// lines excluded) and records each use of an identifier that is neither
+// declared inside the block nor listed in firstprivate(...) — i.e. a
+// by-reference capture of enclosing state. Each use is classified along
+// three axes the race rules combine into a severity:
+//
+//   write        does the expression (possibly) mutate the variable?
+//   direct       plain `v = ...` / `++v` style, vs element, member, or
+//                pointer-mediated access (`v[i] = ...`, `v.push(x)`,
+//                `*v = ...`) where aliasing blurs what is written
+//   conditional  lexically under an if/else/loop/switch/catch inside
+//                the block, so the access may not execute
+//
+// A bare call `v(...)` counts as a plain read: invoking a callable
+// capture (lambdas, function references) observes but does not mutate
+// the binding itself — its body is analyzed where it is written, not at
+// every call site. This is a token-level approximation, not a C++
+// frontend; the EVMP_RACECHECK runtime verifier (race_check.hpp) is the
+// precise backstop for what this pass can only flag heuristically.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/directive_graph.hpp"
+
+namespace evmp::analysis {
+
+/// One occurrence of a captured (non-local) identifier in a region.
+struct VarAccess {
+  std::string name;
+  std::size_t pos = 0;  ///< byte offset of the identifier
+  int line = 0;
+  bool write = false;
+  bool direct = true;
+  bool conditional = false;
+};
+
+/// All captured-variable accesses of one target region's direct body
+/// (nested target regions report under their own node).
+struct RegionAccesses {
+  int node = -1;  ///< index into DirectiveGraph::nodes()
+  std::vector<VarAccess> accesses;
+};
+
+/// Classify every captured-variable access of every target region with
+/// a block. Regions marked default(none) are skipped: they declare no
+/// shared state, and rule W2-style enforcement belongs to translation.
+[[nodiscard]] std::vector<RegionAccesses> analyze_captures(
+    const DirectiveGraph& graph);
+
+}  // namespace evmp::analysis

@@ -1,8 +1,8 @@
 #pragma once
 // Diagnostic model for the evmpcc static analyzer (`--analyze`).
 //
-// A Diagnostic is one finding of the directive lint: a rule id (E1..E3
-// errors, W1/W2 warnings, P1 for unparseable directives), a severity, the
+// A Diagnostic is one finding of the directive lint: a rule id (E1..E4
+// errors, W1..W3 warnings, P1 for unparseable directives), a severity, the
 // 1-based source line (via SourceScanner::line_of) and a human-readable
 // message. Renderers produce the two CLI output formats: compiler-style
 // `file:line: severity[RULE]: message` text and a stable JSON schema for
@@ -20,7 +20,7 @@ enum class Severity : unsigned char { kWarning, kError };
 
 /// One analyzer finding, anchored to a source line.
 struct Diagnostic {
-  std::string rule;  ///< "E1".."E3", "W1", "W2", "P1"
+  std::string rule;  ///< "E1".."E4", "W1".."W3", "P1"
   Severity severity = Severity::kWarning;
   int line = 0;  ///< 1-based; 0 when the finding has no line anchor
   std::string message;

@@ -1,0 +1,142 @@
+#include "analysis/mhp.hpp"
+
+#include <algorithm>
+
+#include "compilerlib/directive.hpp"
+
+namespace evmp::analysis {
+
+namespace {
+
+using Kind = compiler::Directive::Kind;
+
+bool is_target(const RegionNode& node) {
+  return node.directive.kind == Kind::kTarget;
+}
+
+bool is_fork_join(const RegionNode& node) {
+  return node.directive.kind == Kind::kParallel ||
+         node.directive.kind == Kind::kParallelFor;
+}
+
+}  // namespace
+
+MhpRelation::MhpRelation(const DirectiveGraph& graph) : graph_(&graph) {
+  const auto& nodes = graph.nodes();
+  tctx_.resize(nodes.size(), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    int parent = nodes[i].parent;
+    while (parent >= 0 &&
+           !is_target(nodes[static_cast<std::size_t>(parent)])) {
+      parent = nodes[static_cast<std::size_t>(parent)].parent;
+    }
+    tctx_[i] = parent;
+  }
+}
+
+bool MhpRelation::is_ancestor(int outer, int inner) const {
+  const auto& nodes = graph_->nodes();
+  int walk = nodes[static_cast<std::size_t>(inner)].parent;
+  while (walk >= 0) {
+    if (walk == outer) return true;
+    walk = nodes[static_cast<std::size_t>(walk)].parent;
+  }
+  return false;
+}
+
+// Does execution reaching byte `from_pos` in context `from_ctx`
+// happen-before execution reaching byte `to_pos` in context `to_ctx`?
+// Contexts are target regions (-1 = file/function top level); a context
+// runs its direct body in program order, so within one context the
+// byte order is the answer. Across contexts: a point in an enclosing
+// context is ordered before everything in a region it dispatches later,
+// and otherwise the whole `from` region must complete first.
+bool MhpRelation::point_hb(int from_ctx, std::size_t from_pos, int to_ctx,
+                           std::size_t to_pos,
+                           std::vector<int>& visiting) const {
+  if (from_ctx == to_ctx) return from_pos <= to_pos;
+  const auto& nodes = graph_->nodes();
+  // If from_ctx (lexically) encloses to_ctx, the dispatch point of the
+  // child on to_ctx's ancestor chain orders them.
+  int descend = to_ctx;
+  while (descend >= 0) {
+    const int up = tctx_[static_cast<std::size_t>(descend)];
+    if (up == from_ctx) {
+      return from_pos <=
+             nodes[static_cast<std::size_t>(descend)].directive_begin;
+    }
+    descend = up;
+  }
+  if (from_ctx < 0) return false;
+  return completes_before_impl(from_ctx, to_ctx, to_pos, visiting);
+}
+
+// Does the whole of region `node` complete before execution reaches
+// byte `to_pos` in context `to_ctx`?
+bool MhpRelation::completes_before_impl(int node, int to_ctx,
+                                        std::size_t to_pos,
+                                        std::vector<int>& visiting) const {
+  if (std::find(visiting.begin(), visiting.end(), node) != visiting.end()) {
+    return false;  // wait-tag cycle guard: unprovable, not ordered
+  }
+  visiting.push_back(node);
+  bool ordered = false;
+  const auto& nodes = graph_->nodes();
+  const RegionNode& n = nodes[static_cast<std::size_t>(node)];
+  if (is_fork_join(n)) {
+    // Traditional parallel regions are fork-join: done at their own end.
+    ordered = point_hb(tctx_[static_cast<std::size_t>(node)], n.block_end,
+                       to_ctx, to_pos, visiting);
+  } else if (is_target(n)) {
+    switch (n.directive.mode) {
+      case Async::kDefault:
+      case Async::kAwait:
+        // Blocking dispatch: complete before the dispatcher moves past
+        // the region's own end.
+        ordered = point_hb(tctx_[static_cast<std::size_t>(node)], n.block_end,
+                           to_ctx, to_pos, visiting);
+        break;
+      case Async::kNameAs:
+        // Joined by any later wait(tag) with a matching tag whose own
+        // position is ordered before the destination point.
+        for (std::size_t w = 0; w < nodes.size() && !ordered; ++w) {
+          const RegionNode& join = nodes[w];
+          if (join.directive.kind != Kind::kWait) continue;
+          if (join.directive.wait_tag != n.directive.name_tag) continue;
+          if (join.directive_begin < n.directive_begin) continue;
+          ordered = point_hb(tctx_[w], join.directive_begin, to_ctx, to_pos,
+                             visiting);
+        }
+        break;
+      case Async::kNowait:
+        ordered = false;  // never joined: MHP with everything after it
+        break;
+    }
+  }
+  visiting.pop_back();
+  return ordered;
+}
+
+bool MhpRelation::completes_before(int node, int ctx, std::size_t pos) const {
+  std::vector<int> visiting;
+  return completes_before_impl(node, ctx, pos, visiting);
+}
+
+bool MhpRelation::may_happen_in_parallel(int a, int b) const {
+  if (a == b) return false;
+  if (is_ancestor(a, b) || is_ancestor(b, a)) return false;
+  const auto& nodes = graph_->nodes();
+  const RegionNode& na = nodes[static_cast<std::size_t>(a)];
+  const RegionNode& nb = nodes[static_cast<std::size_t>(b)];
+  if (completes_before(a, tctx_[static_cast<std::size_t>(b)],
+                       nb.directive_begin)) {
+    return false;
+  }
+  if (completes_before(b, tctx_[static_cast<std::size_t>(a)],
+                       na.directive_begin)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace evmp::analysis

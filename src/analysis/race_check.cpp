@@ -1,0 +1,208 @@
+#include "analysis/race_check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/env.hpp"
+
+namespace evmp::analysis {
+
+namespace {
+
+void join_clocks(RaceCheck::Clock& into, const RaceCheck::Clock& other) {
+  if (other.size() > into.size()) into.resize(other.size(), 0);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    into[i] = std::max(into[i], other[i]);
+  }
+}
+
+std::uint64_t clock_at(const RaceCheck::Clock& clock, int slot) {
+  const auto index = static_cast<std::size_t>(slot);
+  return slot >= 0 && index < clock.size() ? clock[index] : 0;
+}
+
+}  // namespace
+
+std::atomic<RaceCheck*> RaceCheck::override_{nullptr};
+
+RaceCheck* RaceCheck::global() {
+  static RaceCheck* const instance = []() -> RaceCheck* {
+    if (!common::env_bool("EVMP_RACECHECK").value_or(false)) return nullptr;
+    return new RaceCheck();  // leaked: workers may outlive static dtors
+  }();
+  return instance;
+}
+
+RaceCheck* RaceCheck::active() noexcept {
+  RaceCheck* installed = override_.load(std::memory_order_acquire);
+  return installed != nullptr ? installed : global();
+}
+
+RaceCheck::ScopedInstall::ScopedInstall(RaceCheck* instance)
+    : previous_(override_.exchange(instance, std::memory_order_acq_rel)) {}
+
+RaceCheck::ScopedInstall::~ScopedInstall() {
+  override_.store(previous_, std::memory_order_release);
+}
+
+void RaceCheck::set_failure_handler(FailureHandler handler) {
+  std::scoped_lock lock(mu_);
+  handler_ = std::move(handler);
+}
+
+RaceCheck::ThreadState& RaceCheck::self_locked() {
+  const auto id = std::this_thread::get_id();
+  auto [it, inserted] = threads_.try_emplace(id);
+  if (inserted) {
+    it->second.slot = next_slot_++;
+    it->second.clock.resize(static_cast<std::size_t>(it->second.slot) + 1, 0);
+    it->second.clock[static_cast<std::size_t>(it->second.slot)] = 1;
+    std::ostringstream name;
+    name << "external:" << id;
+    it->second.chain = name.str();
+  }
+  return it->second;
+}
+
+std::uint64_t RaceCheck::on_dispatch(std::string_view target) {
+  std::scoped_lock lock(mu_);
+  ThreadState& self = self_locked();
+  const std::uint64_t birth = next_birth_++;
+  Birth record;
+  record.clock = self.clock;
+  record.chain = self.chain + " -> " + std::string(target);
+  births_.emplace(birth, std::move(record));
+  ++self.clock[static_cast<std::size_t>(self.slot)];
+  return birth;
+}
+
+void RaceCheck::on_block_start(std::uint64_t birth) {
+  std::scoped_lock lock(mu_);
+  ThreadState& self = self_locked();
+  const auto it = births_.find(birth);
+  if (it == births_.end()) return;
+  join_clocks(self.clock, it->second.clock);
+  self.chain = std::move(it->second.chain);
+  births_.erase(it);
+  ++self.clock[static_cast<std::size_t>(self.slot)];
+}
+
+void RaceCheck::on_block_finish(const void* completion,
+                                const void* tag_group) {
+  std::scoped_lock lock(mu_);
+  ThreadState& self = self_locked();
+  // Overwrite-before-publish: CompletionStates are pooled, and a pointer
+  // is only recycled after a fresh block finishes on it — which lands
+  // here first and replaces the stale clock.
+  deaths_[completion] = self.clock;
+  if (tag_group != nullptr) {
+    join_clocks(tag_clocks_[tag_group], self.clock);
+  }
+  ++self.clock[static_cast<std::size_t>(self.slot)];
+}
+
+void RaceCheck::on_join(const void* completion) {
+  std::scoped_lock lock(mu_);
+  const auto it = deaths_.find(completion);
+  if (it == deaths_.end()) return;
+  join_clocks(self_locked().clock, it->second);
+}
+
+void RaceCheck::on_tag_join(const void* tag_group) {
+  std::scoped_lock lock(mu_);
+  const auto it = tag_clocks_.find(tag_group);
+  if (it == tag_clocks_.end()) return;
+  join_clocks(self_locked().clock, it->second);
+}
+
+void* RaceCheck::create_shadow(std::string name) {
+  return new Shadow{std::move(name), -1, 0, {}, {}, {}};
+}
+
+void RaceCheck::destroy_shadow(void* shadow) {
+  delete static_cast<Shadow*>(shadow);
+}
+
+void RaceCheck::on_read(void* shadow) {
+  std::string report;
+  {
+    std::scoped_lock lock(mu_);
+    auto* s = static_cast<Shadow*>(shadow);
+    ThreadState& self = self_locked();
+    if (s->write_slot >= 0 && s->write_slot != self.slot &&
+        clock_at(self.clock, s->write_slot) < s->write_epoch) {
+      report = report_locked(*s, self, "read", "write", s->write_chain);
+    }
+    const auto slot = static_cast<std::size_t>(self.slot);
+    if (slot >= s->reads.size()) {
+      s->reads.resize(slot + 1, 0);
+      s->read_chains.resize(slot + 1);
+    }
+    s->reads[slot] = self.clock[slot];
+    s->read_chains[slot] = self.chain;
+  }
+  if (!report.empty()) fail(report);
+}
+
+void RaceCheck::on_write(void* shadow) {
+  std::string report;
+  {
+    std::scoped_lock lock(mu_);
+    auto* s = static_cast<Shadow*>(shadow);
+    ThreadState& self = self_locked();
+    if (s->write_slot >= 0 && s->write_slot != self.slot &&
+        clock_at(self.clock, s->write_slot) < s->write_epoch) {
+      report = report_locked(*s, self, "write", "write", s->write_chain);
+    }
+    if (report.empty()) {
+      for (std::size_t r = 0; r < s->reads.size(); ++r) {
+        if (s->reads[r] == 0 || static_cast<int>(r) == self.slot) continue;
+        if (clock_at(self.clock, static_cast<int>(r)) < s->reads[r]) {
+          report =
+              report_locked(*s, self, "write", "read", s->read_chains[r]);
+          break;
+        }
+      }
+    }
+    s->write_slot = self.slot;
+    s->write_epoch = self.clock[static_cast<std::size_t>(self.slot)];
+    s->write_chain = self.chain;
+  }
+  if (!report.empty()) fail(report);
+}
+
+std::string RaceCheck::report_locked(const Shadow& shadow,
+                                     const ThreadState& self,
+                                     const char* current, const char* prior,
+                                     const std::string& prior_chain) const {
+  std::ostringstream out;
+  out << "EVMP_RACECHECK: data race on shared variable '" << shadow.name
+      << "':\n  current " << current << " via dispatch chain [" << self.chain
+      << "]\n  unordered prior " << prior << " via dispatch chain ["
+      << prior_chain
+      << "]\nno dispatch, completion, or wait(tag) edge orders these "
+         "accesses — join the producing block (blocking/await dispatch or "
+         "wait(tag)) before touching '"
+      << shadow.name << "'\n";
+  return out.str();
+}
+
+void RaceCheck::fail(const std::string& report) {
+  FailureHandler handler;
+  {
+    std::scoped_lock lock(mu_);
+    handler = handler_;
+  }
+  if (handler) {
+    handler(report);
+    return;
+  }
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace evmp::analysis

@@ -1,0 +1,145 @@
+#pragma once
+// EVMP_RACECHECK — a FastTrack-style happens-before race verifier for
+// EventMP dispatch graphs (the dynamic half of the E4/W3 race rules;
+// DESIGN.md §10).
+//
+// The runtime calls four hooks at the same seams the EVMP_VERIFY
+// WaitGraph instruments (runtime.cpp), each a single pointer load when
+// the mode is off:
+//
+//   on_dispatch      before a block is posted — snapshots the dispatching
+//                    thread's vector clock into a birth record
+//   on_block_start   first thing inside the dispatched block — the worker
+//                    thread joins the birth clock (dispatch edge)
+//   on_block_finish  last thing before the completion is published — the
+//                    worker's clock is parked on the CompletionState (and
+//                    merged into the TagGroup for name_as blocks)
+//   on_join          after a blocking wait / await / wait(tag) — the
+//                    waiting thread joins the parked clock (join edge)
+//
+// Accesses are checked through `evmp::shared<T>` (core/shared.hpp):
+// each wrapper owns a shadow word recording the last write epoch and a
+// read clock per thread. An access with no happens-before path to the
+// previous conflicting access aborts with both dispatch chains — the
+// dynamic confirmation for conflicts the static pass can only grade W3.
+//
+// Like the WaitGraph, the global instance is env-gated (EVMP_RACECHECK)
+// and leaked; tests install a scoped instance with a failure handler.
+// `TaskHandle::wait()` is deliberately *not* an ordering edge (it is not
+// a directive; use await / wait(tag) to publish results).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace evmp::analysis {
+
+class RaceCheck {
+ public:
+  using Clock = std::vector<std::uint64_t>;
+  using FailureHandler = std::function<void(const std::string& report)>;
+
+  RaceCheck() = default;
+  RaceCheck(const RaceCheck&) = delete;
+  RaceCheck& operator=(const RaceCheck&) = delete;
+
+  /// Process-wide instance, or nullptr unless EVMP_RACECHECK is truthy
+  /// in the environment. Intentionally leaked (workers may outlive
+  /// static destruction).
+  static RaceCheck* global();
+
+  /// The instance the runtime should consult: a test-installed override
+  /// if present, else the env-gated global. One relaxed-ish load on the
+  /// off path — this is the only cost when the mode is disabled.
+  static RaceCheck* active() noexcept;
+
+  /// RAII installation of a test instance as the active checker.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(RaceCheck* instance);
+    ~ScopedInstall();
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    RaceCheck* previous_;
+  };
+
+  /// Replace abort() on a detected race; for tests.
+  void set_failure_handler(FailureHandler handler);
+
+  // -- dispatch-graph edges (called by the runtime) -----------------------
+
+  /// Snapshot the calling thread's clock; returns a birth token to hand
+  /// to on_block_start (0 is never returned).
+  std::uint64_t on_dispatch(std::string_view target);
+
+  /// Join the birth clock on the thread now running the block.
+  void on_block_start(std::uint64_t birth);
+
+  /// Park the finishing thread's clock on the completion (and merge it
+  /// into the tag group, when the block was dispatched name_as). Must
+  /// run before the completion is published.
+  void on_block_finish(const void* completion, const void* tag_group);
+
+  /// A blocking wait / await on `completion` returned: join its clock.
+  void on_join(const void* completion);
+
+  /// A wait(tag) on `tag_group` returned: join the merged producer clock.
+  void on_tag_join(const void* tag_group);
+
+  // -- shadow state for evmp::shared<T> -----------------------------------
+
+  void* create_shadow(std::string name);
+  void destroy_shadow(void* shadow);
+  void on_read(void* shadow);
+  void on_write(void* shadow);
+
+ private:
+  struct ThreadState {
+    int slot = -1;       ///< index into vector clocks
+    Clock clock;         ///< the thread's current vector clock
+    std::string chain;   ///< dispatch chain, e.g. "external:123 -> worker"
+  };
+
+  struct Birth {
+    Clock clock;
+    std::string chain;
+  };
+
+  struct Shadow {
+    std::string name;
+    int write_slot = -1;
+    std::uint64_t write_epoch = 0;
+    std::string write_chain;
+    Clock reads;  ///< last read epoch per slot (0 = none)
+    std::vector<std::string> read_chains;
+  };
+
+  ThreadState& self_locked();
+  [[nodiscard]] std::string report_locked(const Shadow& shadow,
+                                          const ThreadState& self,
+                                          const char* current,
+                                          const char* prior,
+                                          const std::string& prior_chain) const;
+  void fail(const std::string& report);
+
+  static std::atomic<RaceCheck*> override_;
+
+  std::mutex mu_;
+  std::map<std::thread::id, ThreadState> threads_;
+  std::map<std::uint64_t, Birth> births_;
+  std::map<const void*, Clock> deaths_;      ///< keyed by CompletionState*
+  std::map<const void*, Clock> tag_clocks_;  ///< keyed by TagGroup*
+  int next_slot_ = 0;
+  std::uint64_t next_birth_ = 1;
+  FailureHandler handler_;
+};
+
+}  // namespace evmp::analysis

@@ -111,8 +111,9 @@ void SourceScanner::classify() {
     }
   }
   // Newline terminating a line comment belongs to code again; the loop
-  // above already flips state at '\n' but classifies that byte as comment,
-  // which is harmless for all queries we make.
+  // above already flips state at '\n' but classifies that byte as comment.
+  // Queries that need a comment *start* (find_directive) must therefore
+  // also accept a position whose previous byte is '\n'.
 }
 
 int SourceScanner::line_of(std::size_t pos) const noexcept {
@@ -123,10 +124,14 @@ int SourceScanner::line_of(std::size_t pos) const noexcept {
 std::optional<SourceScanner::DirectiveMatch> SourceScanner::find_directive(
     std::size_t from) const {
   for (std::size_t i = from; i + 1 < src_.size(); ++i) {
-    // Java-style //#omp inside a line comment.
+    // Java-style //#omp inside a line comment. The '//' must *start*
+    // the comment; note the newline that terminates a line comment is
+    // itself classified kLineComment, so a directive on the line right
+    // after another //-comment is still a comment start.
     if (src_[i] == '/' && src_[i + 1] == '/' &&
         classes_[i] == CharClass::kLineComment &&
-        (i == 0 || classes_[i - 1] != CharClass::kLineComment)) {
+        (i == 0 || src_[i - 1] == '\n' ||
+         classes_[i - 1] != CharClass::kLineComment)) {
       std::size_t j = i + 2;
       if (j < src_.size() && src_[j] == '#') ++j;  // //#omp or //omp
       if (src_.substr(j, 3) == "omp" &&

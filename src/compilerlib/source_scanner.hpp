@@ -29,6 +29,13 @@ class SourceScanner {
     return classes_[pos];
   }
 
+  /// True when the byte at `pos` is comment text (line or block). Used
+  /// by the analyzer's suppression-comment scan (evmp-lint-ignore).
+  [[nodiscard]] bool is_comment(std::size_t pos) const noexcept {
+    return classes_[pos] == CharClass::kLineComment ||
+           classes_[pos] == CharClass::kBlockComment;
+  }
+
   /// 1-based line number of a byte offset.
   [[nodiscard]] int line_of(std::size_t pos) const noexcept;
 

@@ -4,6 +4,7 @@
 #include "core/async_mode.hpp"     // IWYU pragma: export
 #include "core/directive.hpp"      // IWYU pragma: export
 #include "core/runtime.hpp"        // IWYU pragma: export
+#include "core/shared.hpp"         // IWYU pragma: export
 #include "core/tag_group.hpp"      // IWYU pragma: export
 #include "core/target.hpp"         // IWYU pragma: export
 #include "event/event_loop.hpp"    // IWYU pragma: export

@@ -159,6 +159,9 @@ Runtime::DispatchPlan Runtime::plan_dispatch(std::string_view tname,
     plan.group->enter();
   }
   plan.report_unhandled = (mode == Async::kNowait);
+  if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+    plan.race_birth = rc->on_dispatch(executor.name());
+  }
   return plan;
 }
 
@@ -189,20 +192,23 @@ void Runtime::verified_wait(const exec::CompletionRef& state,
   analysis::WaitGraph* graph = analysis::WaitGraph::global();
   if (graph == nullptr) {
     state->wait();
-    return;
+  } else {
+    const analysis::WaitGraph::Waiter self = current_waiter();
+    const char* what = "default-mode dispatch";
+    const std::string to(target.name());
+    analysis::WaitScope scope(*graph, self, to, target.pending(), what,
+                              /*hard=*/true);
+    if (graph->timeout().count() <= 0) {
+      state->wait();
+    } else if (!state->wait_for(graph->timeout())) {
+      graph->fail_timeout(self, to, what);
+      state->wait();  // reached only when a test handler swallowed the report
+    }
   }
-  const analysis::WaitGraph::Waiter self = current_waiter();
-  const char* what = "default-mode dispatch";
-  const std::string to(target.name());
-  analysis::WaitScope scope(*graph, self, to, target.pending(), what,
-                            /*hard=*/true);
-  if (graph->timeout().count() <= 0) {
-    state->wait();
-    return;
-  }
-  if (!state->wait_for(graph->timeout())) {
-    graph->fail_timeout(self, to, what);
-    state->wait();  // reached only when a test handler swallowed the report
+  // EVMP_RACECHECK: the block completed before this wait returned — join
+  // its parked clock into the waiting thread.
+  if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+    rc->on_join(state.get());
   }
 }
 
@@ -237,14 +243,17 @@ std::vector<exec::TaskHandle> Runtime::invoke_target_batch(
   const bool report_unhandled = (mode == Async::kNowait);
   TagGroup* group = nullptr;
   if (mode == Async::kNameAs) group = &tags_.group(tag);
+  analysis::RaceCheck* rc = analysis::RaceCheck::active();
   for (auto& block : blocks) {
     exec::CompletionRef state = exec::CompletionState::make();
     handles.emplace_back(state);
     if (group != nullptr) group->enter();
+    const std::uint64_t birth =
+        rc != nullptr ? rc->on_dispatch(executor.name()) : 0;
     wrapped.emplace_back([state = std::move(state), group, report_unhandled,
-                          ex = &executor,
+                          ex = &executor, birth,
                           fn = std::move(block)]() mutable {
-      run_dispatched_block(fn, state, group, ex, report_unhandled);
+      run_dispatched_block(fn, state, group, ex, report_unhandled, birth);
     });
   }
   executor.post_batch(wrapped);
@@ -302,6 +311,9 @@ void Runtime::await_completion(const exec::CompletionRef& state,
       graph->fail_timeout(waiter, to, what);
     }
     state->wait();
+    if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+      rc->on_join(state.get());
+    }
     state->rethrow_if_error();
     return;
   }
@@ -325,6 +337,9 @@ void Runtime::await_completion(const exec::CompletionRef& state,
   if (pumped != 0) {
     stats_.await_pumped.fetch_add(pumped, std::memory_order_relaxed);
   }
+  if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+    rc->on_join(state.get());
+  }
   state->rethrow_if_error();
 }
 
@@ -342,6 +357,9 @@ void Runtime::wait_tag(std::string_view tag) {
   analysis::WaitGraph* graph = analysis::WaitGraph::global();
   if (graph == nullptr) {
     group.wait(help);
+    if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+      rc->on_tag_join(&group);
+    }
     return;
   }
   // Tag nodes never have outgoing edges, so they cannot sit on a wait-for
@@ -366,6 +384,9 @@ void Runtime::wait_tag(std::string_view tag) {
     };
   }
   group.wait(help);
+  if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+    rc->on_tag_join(&group);
+  }
 }
 
 TargetRef Runtime::target(std::string tname) {

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/race_check.hpp"
 #include "core/async_mode.hpp"
 #include "core/tag_group.hpp"
 #include "event/event_loop.hpp"
@@ -160,9 +161,9 @@ class Runtime {
     }
     plan.executor->post(exec::Task(
         [state = plan.state, group = plan.group, ex = plan.executor,
-         report = plan.report_unhandled,
+         report = plan.report_unhandled, birth = plan.race_birth,
          fn = std::forward<F>(block)]() mutable {
-          run_dispatched_block(fn, state, group, ex, report);
+          run_dispatched_block(fn, state, group, ex, report, birth);
         }));
     return finish_dispatch(std::move(plan.state), mode, plan.executor);
   }
@@ -220,6 +221,7 @@ class Runtime {
     bool report_unhandled = false;
     bool run_inline = false;
     exec::CompletionRef state;
+    std::uint64_t race_birth = 0;  ///< EVMP_RACECHECK birth token (0 = off)
   };
 
   /// Algorithm 1 lines 1-8 (shared by the template and the batch path);
@@ -237,13 +239,22 @@ class Runtime {
   template <class F>
   static void run_dispatched_block(F& fn, exec::CompletionRef& state,
                                    TagGroup* group, exec::Executor* ex,
-                                   bool report_unhandled) {
+                                   bool report_unhandled,
+                                   std::uint64_t race_birth = 0) {
+    // EVMP_RACECHECK: join the dispatch edge before the block's first
+    // access; park the clock *before* the completion is published so a
+    // joiner always observes it.
+    analysis::RaceCheck* rc =
+        race_birth != 0 ? analysis::RaceCheck::active() : nullptr;
+    if (rc != nullptr) rc->on_block_start(race_birth);
     try {
       fn();
+      if (rc != nullptr) rc->on_block_finish(state.get(), group);
       state->set_done();
       if (group != nullptr) group->leave(nullptr);
     } catch (...) {
       auto ep = std::current_exception();
+      if (rc != nullptr) rc->on_block_finish(state.get(), group);
       state->set_exception(ep);
       if (group != nullptr) group->leave(ep);
       // A nowait block has no join point; surface the failure via the hook

@@ -1,0 +1,81 @@
+#pragma once
+// evmp::shared<T> — a checked wrapper for variables shared across target
+// regions, the access half of the EVMP_RACECHECK race verifier
+// (analysis/race_check.hpp, DESIGN.md §10).
+//
+//   evmp::shared<int> total("total");
+//   //#omp target virtual(worker) nowait
+//   { total.write() += batch; }          // checked write
+//   ...
+//   use(total.read());                   // checked read
+//
+// With EVMP_RACECHECK unset every access is a plain null check against a
+// pointer captured at construction — no lock, no clock. With the mode on,
+// each read()/write() consults the vector-clock state: two accesses with
+// no happens-before path through dispatch / completion / wait(tag) edges
+// abort with both dispatch chains.
+//
+// The wrapper is deliberately not a synchronization primitive: it
+// detects missing ordering, it does not add any.
+
+#include <string>
+#include <utility>
+
+#include "analysis/race_check.hpp"
+
+namespace evmp {
+
+template <typename T>
+class shared {
+ public:
+  explicit shared(std::string name, T value = T())
+      : value_(std::move(value)) {
+    if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+      shadow_ = rc->create_shadow(std::move(name));
+    }
+  }
+
+  ~shared() {
+    if (shadow_ != nullptr) {
+      if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+        rc->destroy_shadow(shadow_);
+      }
+    }
+  }
+
+  shared(const shared&) = delete;
+  shared& operator=(const shared&) = delete;
+
+  /// Checked read access.
+  [[nodiscard]] const T& read() const {
+    if (shadow_ != nullptr) {
+      if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+        rc->on_read(shadow_);
+      }
+    }
+    return value_;
+  }
+
+  /// Checked write (and read-modify-write) access.
+  [[nodiscard]] T& write() {
+    if (shadow_ != nullptr) {
+      if (analysis::RaceCheck* rc = analysis::RaceCheck::active()) {
+        rc->on_write(shadow_);
+      }
+    }
+    return value_;
+  }
+
+  shared& operator=(T value) {
+    write() = std::move(value);
+    return *this;
+  }
+
+  operator const T&() const { return read(); }  // NOLINT(google-explicit-*)
+
+ private:
+  T value_;
+  void* shadow_ = nullptr;  ///< RaceCheck shadow word; null when off
+};
+
+}  // namespace evmp

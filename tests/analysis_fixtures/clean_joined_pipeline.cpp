@@ -1,0 +1,16 @@
+// Fixture: clean — concurrent stages whose shared capture is ordered
+// by a name_as producer and its wait(tag) join; no race diagnostics.
+#include <cstdio>
+
+void joined(int n) {
+  int staged = 0;
+  //#omp target virtual(worker) name_as(stage)
+  {
+    staged = 3 * n;
+  }
+  //#omp wait(stage)
+  //#omp target virtual(logger) nowait
+  {
+    std::printf("staged %d\n", staged);
+  }
+}

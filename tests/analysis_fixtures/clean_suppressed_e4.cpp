@@ -1,0 +1,18 @@
+// Fixture: clean via suppression — an acknowledged E4 race silenced
+// with evmp-lint-ignore on the line above the racy region; the CI
+// audit mode (--no-ignores) still sees it.
+#include <cstdio>
+
+void acknowledged(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait
+  {
+    total = n;
+  }
+  // evmp-lint-ignore(E4)
+  //#omp target virtual(logger) nowait
+  {
+    total = 2 * n;
+  }
+  std::printf("%d\n", total);
+}

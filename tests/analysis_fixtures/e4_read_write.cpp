@@ -1,0 +1,15 @@
+// Fixture: E4 — a nowait producer writes a capture that a concurrent
+// edt region reads; no wait(tag) or blocking dispatch orders them.
+#include <cstdio>
+
+void torn_read(int n) {
+  int result = 0;
+  //#omp target virtual(worker) nowait
+  {
+    result = 7 * n;
+  }
+  //#omp target virtual(edt) nowait
+  {
+    std::printf("result %d\n", result);
+  }
+}

@@ -1,0 +1,16 @@
+// Fixture: E4 — two unordered nowait regions both write the same
+// by-reference capture; the MHP race rule must flag the pair.
+#include <cstdio>
+
+void unsynchronized(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait
+  {
+    total = n;
+  }
+  //#omp target virtual(logger) nowait
+  {
+    total = 2 * n;
+  }
+  std::printf("%d\n", total);
+}

@@ -1,0 +1,17 @@
+// Fixture: W3 — the write is under a condition, so the race is
+// heuristic-grade: warning, not error (gates only under --Werror).
+#include <cstdio>
+
+void maybe_racy(int n) {
+  int hits = 0;
+  //#omp target virtual(worker) nowait
+  {
+    if (n > 0) {
+      hits = n;
+    }
+  }
+  //#omp target virtual(logger) nowait
+  {
+    std::printf("hits %d\n", hits);
+  }
+}

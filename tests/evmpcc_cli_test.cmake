@@ -65,6 +65,25 @@ expect_contains(err "warning\\[W2\\]" "w2 analyze")
 run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/w2_loop_capture.cpp)
 expect_contains(err "--Werror" "w2 Werror gate message")
 
+# Data races: definite races are errors (always gate), heuristic-grade
+# races are warnings (gate only under --Werror).
+run_evmpcc(4 --analyze-only ${FIXTURES}/e4_write_write.cpp)
+expect_contains(err "error\\[E4\\]" "e4 analyze")
+expect_contains(err "data race" "e4 message")
+run_evmpcc(0 --analyze-only ${FIXTURES}/w3_conditional.cpp)
+expect_contains(err "warning\\[W3\\]" "w3 analyze")
+run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/w3_conditional.cpp)
+
+# wait(tag) joins order the pipeline: no race diagnostics.
+run_evmpcc(0 --analyze-only --Werror ${FIXTURES}/clean_joined_pipeline.cpp)
+
+# evmp-lint-ignore suppresses an acknowledged finding; --no-ignores audits
+# past the suppression comments.
+run_evmpcc(0 --analyze-only --Werror ${FIXTURES}/clean_suppressed_e4.cpp)
+run_evmpcc(4 --analyze-only --Werror --no-ignores
+           ${FIXTURES}/clean_suppressed_e4.cpp)
+expect_contains(err "error\\[E4\\]" "no-ignores audit")
+
 # JSON diagnostics go to stdout with the documented schema.
 run_evmpcc(4 --analyze-only --diag-format=json ${FIXTURES}/e1_self_blocking.cpp)
 expect_contains(out "\"rule\": \"E1\"" "json rule")

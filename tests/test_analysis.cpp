@@ -1,7 +1,8 @@
 // The analysis subsystem: the evmpcc static directive lint (DirectiveGraph
-// + rule passes E1-E3/W1-W2/P1, text/JSON renderers) and the EVMP_VERIFY
-// runtime wait-for-graph verifier (cycle detection, saturation semantics,
-// abort-on-deadlock instead of a silent hang).
+// + rule passes E1-E4/W1-W3/P1, the MHP relation, text/JSON renderers),
+// the EVMP_VERIFY runtime wait-for-graph verifier (cycle detection,
+// saturation semantics, abort-on-deadlock instead of a silent hang), and
+// the EVMP_RACECHECK vector-clock race verifier.
 
 #include <gtest/gtest.h>
 
@@ -17,8 +18,12 @@
 #include "analysis/analyzer.hpp"
 #include "analysis/diagnostic.hpp"
 #include "analysis/directive_graph.hpp"
+#include "analysis/mhp.hpp"
+#include "analysis/race_check.hpp"
 #include "analysis/wait_graph.hpp"
+#include "common/sync.hpp"
 #include "core/runtime.hpp"
+#include "core/shared.hpp"
 
 #if defined(__has_feature)
 #if __has_feature(thread_sanitizer)
@@ -38,6 +43,12 @@ using evmp::analysis::WaitGraph;
 
 std::vector<Diagnostic> run(std::string_view source) {
   return evmp::analysis::analyze_source(source);
+}
+
+std::vector<Diagnostic> run_no_ignores(std::string_view source) {
+  evmp::analysis::AnalyzeOptions options;
+  options.honor_ignores = false;
+  return evmp::analysis::analyze_source(source, options);
 }
 
 const Diagnostic* find_rule(const std::vector<Diagnostic>& diags,
@@ -280,6 +291,261 @@ for (int job = 0; job < n; ++job) {
   EXPECT_TRUE(diags.empty());
 }
 
+// --- the MHP relation ------------------------------------------------------
+
+TEST(MhpRelation, ContainmentOrdersRegions) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(worker) nowait
+{
+  //#omp target virtual(io) nowait
+  { }
+}
+)");
+  const evmp::analysis::MhpRelation mhp(graph);
+  EXPECT_TRUE(mhp.is_ancestor(0, 1));
+  EXPECT_FALSE(mhp.may_happen_in_parallel(0, 1));
+}
+
+TEST(MhpRelation, BlockingDispatchOrdersSuccessorsButNowaitDoesNot) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(worker)
+{ }
+//#omp target virtual(io) nowait
+{ }
+//#omp target virtual(edt) nowait
+{ }
+)");
+  const evmp::analysis::MhpRelation mhp(graph);
+  // The default-mode region completes at its dispatch site.
+  EXPECT_FALSE(mhp.may_happen_in_parallel(0, 1));
+  EXPECT_FALSE(mhp.may_happen_in_parallel(0, 2));
+  // The two nowait regions have no join: MHP (symmetrically).
+  EXPECT_TRUE(mhp.may_happen_in_parallel(1, 2));
+  EXPECT_TRUE(mhp.may_happen_in_parallel(2, 1));
+}
+
+TEST(MhpRelation, WaitTagJoinOrdersProducer) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(worker) name_as(t)
+{ }
+//#omp target virtual(io) nowait
+{ }
+//#omp wait(t)
+//#omp target virtual(edt) nowait
+{ }
+)");
+  const evmp::analysis::MhpRelation mhp(graph);
+  // Back-to-back //-directive lines must all be found (the newline that
+  // ends a line comment is itself classified as comment; find_directive
+  // compensates — this graph silently loses node 3 otherwise).
+  ASSERT_EQ(graph.nodes().size(), 4u);
+  // Node 0 (name_as) is joined by the wait before node 3 dispatches...
+  EXPECT_FALSE(mhp.may_happen_in_parallel(0, 3));
+  // ...but the wait orders nothing about the untagged nowait region.
+  EXPECT_TRUE(mhp.may_happen_in_parallel(1, 3));
+  // Before the wait, producer and plain nowait still overlap.
+  EXPECT_TRUE(mhp.may_happen_in_parallel(0, 1));
+}
+
+TEST(MhpRelation, OrderingIsTransitiveThroughAwaitParents) {
+  const DirectiveGraph graph(R"(
+//#omp target virtual(worker) await
+{
+  //#omp target virtual(io) name_as(batch)
+  { }
+  //#omp wait(batch)
+}
+//#omp target virtual(edt) nowait
+{ }
+)");
+  const evmp::analysis::MhpRelation mhp(graph);
+  // The name_as block (node 1) joins at the wait (node 2) *inside* the
+  // await parent (node 0), which itself completes before node 3's
+  // dispatch: the ordering must chain through both edges.
+  EXPECT_FALSE(mhp.may_happen_in_parallel(1, 3));
+  EXPECT_FALSE(mhp.may_happen_in_parallel(0, 3));
+}
+
+// --- E4 / W3 ---------------------------------------------------------------
+
+TEST(AnalyzeRules, E4FiresOnUnorderedWriteWrite) {
+  const auto diags = run(R"(
+void f(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait
+  { total = n; }
+  //#omp target virtual(logger) nowait
+  { total = 2 * n; }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E4");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 6);  // anchored at the later region
+  EXPECT_NE(d->message.find("'total'"), std::string::npos);
+}
+
+TEST(AnalyzeRules, E4FiresOnUnorderedReadWrite) {
+  const auto diags = run(R"(
+void f(int n) {
+  int result = 0;
+  //#omp target virtual(worker) nowait
+  { result = n; }
+  //#omp target virtual(edt) nowait
+  { consume(result); }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E4");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'result'"), std::string::npos);
+}
+
+TEST(AnalyzeRules, E4SilentWhenJoinedByWaitTag) {
+  const auto diags = run(R"(
+void f(int n) {
+  int staged = 0;
+  //#omp target virtual(worker) name_as(stage)
+  { staged = n; }
+  //#omp wait(stage)
+  //#omp target virtual(logger) nowait
+  { consume(staged); }
+}
+)");
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(AnalyzeRules, E4SilentWhenProducerBlocks) {
+  const auto diags = run(R"(
+void f(int n) {
+  int staged = 0;
+  //#omp target virtual(worker)
+  { staged = n; }
+  //#omp target virtual(logger) nowait
+  { consume(staged); }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalyzeRules, E4SilentWithFirstprivateAndForEdtPairs) {
+  // firstprivate removes the capture; two edt regions serialize on the
+  // one event-dispatch loop.
+  const auto diags = run(R"(
+void f(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait firstprivate(total)
+  { consume(total); }
+  //#omp target virtual(worker) nowait
+  { local_use(n); }
+  //#omp target virtual(edt) nowait
+  { total = 1; }
+  //#omp target virtual(edt) nowait
+  { total = 2; }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E4"), nullptr);
+  EXPECT_EQ(find_rule(diags, "W3"), nullptr);
+}
+
+TEST(AnalyzeRules, W3OnConditionalWrite) {
+  const auto diags = run(R"(
+void f(int n) {
+  int hits = 0;
+  //#omp target virtual(worker) nowait
+  {
+    if (n > 0) { hits = n; }
+  }
+  //#omp target virtual(logger) nowait
+  { consume(hits); }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E4"), nullptr);
+  const Diagnostic* d = find_rule(diags, "W3");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 8);
+  EXPECT_NE(d->message.find("EVMP_RACECHECK"), std::string::npos);
+}
+
+TEST(AnalyzeRules, W3OnIndirectMemberAccess) {
+  const auto diags = run(R"(
+void f() {
+  std::vector<int> box;
+  //#omp target virtual(worker) nowait
+  { box.push_back(1); }
+  //#omp target virtual(logger) nowait
+  { box.push_back(2); }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E4"), nullptr);
+  const Diagnostic* d = find_rule(diags, "W3");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'box'"), std::string::npos);
+}
+
+TEST(AnalyzeRules, E4LocalDeclarationsAreNotCaptures) {
+  const auto diags = run(R"(
+void f(int n) {
+  //#omp target virtual(worker) nowait
+  {
+    int total = n;
+    total += 1;
+    consume(total);
+  }
+  //#omp target virtual(logger) nowait
+  {
+    int total = 2 * n;
+    consume(total);
+  }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+// --- evmp-lint-ignore suppressions -----------------------------------------
+
+TEST(AnalyzeRules, LintIgnoreSuppressesOnLineAbove) {
+  const std::string_view source = R"(
+void f(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait
+  { total = n; }
+  // evmp-lint-ignore(E4)
+  //#omp target virtual(logger) nowait
+  { total = 2 * n; }
+}
+)";
+  EXPECT_TRUE(run(source).empty());
+  // --no-ignores audits past the comment.
+  EXPECT_NE(find_rule(run_no_ignores(source), "E4"), nullptr);
+}
+
+TEST(AnalyzeRules, LintIgnoreIsRuleSpecific) {
+  // The marker names W9, so the E4 finding survives.
+  const auto diags = run(R"(
+void f(int n) {
+  int total = 0;
+  //#omp target virtual(worker) nowait
+  { total = n; }
+  // evmp-lint-ignore(W9)
+  //#omp target virtual(logger) nowait
+  { total = 2 * n; }
+}
+)");
+  EXPECT_NE(find_rule(diags, "E4"), nullptr);
+}
+
+TEST(AnalyzeRules, LintIgnoreBareMarkerAndStarSuppressEverything) {
+  const auto diags = run(R"(
+// evmp-lint-ignore
+//#omp wait(consumed)
+// evmp-lint-ignore(*)
+//#omp target virtual(worker) name_as(produced)
+{ }
+)");
+  EXPECT_TRUE(diags.empty());  // both W1 findings suppressed
+}
+
 // --- P1 --------------------------------------------------------------------
 
 TEST(AnalyzeRules, P1FiresOnUnparseableDirective) {
@@ -332,6 +598,13 @@ TEST(Diagnostics, JsonRendererSchemaAndEscaping) {
   EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
 }
 
+TEST(Diagnostics, JsonRendererEscapesControlShorthands) {
+  std::vector<Diagnostic> diags{
+      {"E4", Severity::kError, 1, std::string("a\bb\fc\x01" "d")}};
+  const std::string json = evmp::analysis::render_json(diags, "a.cpp");
+  EXPECT_NE(json.find("a\\bb\\fc\\u0001d"), std::string::npos) << json;
+}
+
 // --- the checked-in fixture corpus ----------------------------------------
 
 TEST(AnalysisFixtures, CorpusMatchesExpectedDiagnostics) {
@@ -347,6 +620,11 @@ TEST(AnalysisFixtures, CorpusMatchesExpectedDiagnostics) {
       {"w2_loop_capture.cpp", {{"W2", 7}}},
       {"p1_malformed.cpp", {{"P1", 4}}},
       {"clean_pipeline.cpp", {}},
+      {"e4_write_write.cpp", {{"E4", 11}}},
+      {"e4_read_write.cpp", {{"E4", 11}}},
+      {"w3_conditional.cpp", {{"W3", 13}}},
+      {"clean_joined_pipeline.cpp", {}},
+      {"clean_suppressed_e4.cpp", {}},
   };
   for (const Case& c : cases) {
     const std::string source =
@@ -437,6 +715,74 @@ TEST(WaitGraphUnit, GlobalIsDisabledWithoutEnv) {
   EXPECT_EQ(WaitGraph::global(), nullptr);
 }
 
+// --- EVMP_RACECHECK (vector-clock race verifier) ---------------------------
+
+TEST(RaceCheckUnit, GlobalIsDisabledWithoutEnv) {
+  ::unsetenv("EVMP_RACECHECK");
+  EXPECT_EQ(evmp::analysis::RaceCheck::active(), nullptr);
+}
+
+TEST(RaceCheckUnit, DetectsUnjoinedCrossThreadWrites) {
+  evmp::analysis::RaceCheck rc;
+  std::string report;
+  rc.set_failure_handler([&](const std::string& r) {
+    if (report.empty()) report = r;
+  });
+  evmp::analysis::RaceCheck::ScopedInstall install(&rc);
+
+  evmp::Runtime runtime;
+  runtime.create_worker("worker", 2);
+  evmp::shared<int> counter("counter");
+  // The events sequence the two accesses in wall-clock time so the test
+  // is deterministic; they are NOT dispatch edges, so RaceCheck still
+  // (correctly) sees the writes as unordered.
+  evmp::common::ManualResetEvent first_wrote;
+  evmp::common::ManualResetEvent release_first;
+  auto h1 = runtime.invoke_target_block(
+      "worker",
+      [&] {
+        counter.write() = 1;
+        first_wrote.set();
+        release_first.wait();
+      },
+      evmp::Async::kNowait);
+  auto h2 = runtime.invoke_target_block(
+      "worker",
+      [&] {
+        first_wrote.wait();
+        counter.write() = 2;
+        release_first.set();
+      },
+      evmp::Async::kNowait);
+  h1.wait();
+  h2.wait();
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("data race"), std::string::npos);
+  EXPECT_NE(report.find("'counter'"), std::string::npos);
+  EXPECT_NE(report.find("worker"), std::string::npos) << report;
+}
+
+TEST(RaceCheckUnit, WaitTagJoinOrdersAccesses) {
+  evmp::analysis::RaceCheck rc;
+  std::string report;
+  rc.set_failure_handler([&](const std::string& r) {
+    if (report.empty()) report = r;
+  });
+  evmp::analysis::RaceCheck::ScopedInstall install(&rc);
+
+  evmp::Runtime runtime;
+  runtime.create_worker("worker", 2);
+  evmp::shared<int> value("value");
+  runtime.invoke_target_block(
+      "worker", [&] { value.write() = 41; }, evmp::Async::kNameAs, "stage");
+  runtime.wait_tag("stage");  // joins the producer's clock
+  runtime.invoke_target_block(
+      "worker", [&] { value.write() += 1; }, evmp::Async::kDefault);
+  // kDefault joined the block on return, so this read is ordered too.
+  EXPECT_EQ(value.read(), 42);
+  EXPECT_TRUE(report.empty()) << report;
+}
+
 // --- EVMP_VERIFY end-to-end (death tests) ---------------------------------
 
 #if !defined(EVMP_TSAN)
@@ -483,6 +829,39 @@ TEST(WaitGraphDeathTest, TimeoutAbortsAStalledDefaultWait) {
             evmp::Async::kDefault);
       },
       "wait timeout after 200 ms.*slow");
+}
+
+TEST(RaceCheckDeathTest, AbortsOnRacyNowaitHandlers) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two nowait handlers write the same evmp::shared<int> with no wait(tag)
+  // or blocking dispatch between them: with EVMP_RACECHECK=1 the second
+  // write must abort with the dispatch-chain report.
+  EXPECT_DEATH(
+      {
+        ::setenv("EVMP_RACECHECK", "1", 1);
+        evmp::Runtime runtime;
+        runtime.create_worker("worker", 2);
+        evmp::shared<int> counter("counter");
+        evmp::common::ManualResetEvent first_wrote;
+        evmp::common::ManualResetEvent hold;
+        runtime.invoke_target_block(
+            "worker",
+            [&] {
+              counter.write() = 1;
+              first_wrote.set();
+              hold.wait();
+            },
+            evmp::Async::kNowait);
+        runtime.invoke_target_block(
+            "worker",
+            [&] {
+              first_wrote.wait();
+              counter.write() = 2;  // unordered with the first write: abort
+            },
+            evmp::Async::kNowait);
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+      },
+      "data race on shared variable 'counter'.*worker");
 }
 
 #endif  // !EVMP_TSAN

@@ -2,14 +2,17 @@
 //
 // Usage:
 //   evmpcc <input.cpp> [-o <output.cpp>] [--no-include] [--runtime <expr>]
-//          [--analyze] [--analyze-only] [--Werror] [--diag-format=text|json]
+//          [--analyze] [--analyze-only] [--Werror] [--no-ignores]
+//          [--diag-format=text|json]
 //
 // Reads a C++ source annotated with the paper's extended target directives
 // (`//#omp target virtual(...) ...` or `#pragma omp target virtual(...)`)
 // and emits the transformed source that calls the EventMP runtime — the
 // same job the Pyjama compiler performs for Java (paper §IV.A). With
-// --analyze the directive lint (DESIGN.md §8) runs first: E1-E3 blocking
-// misuse errors, W1/W2 tag and capture warnings.
+// --analyze the directive lint (DESIGN.md §8/§10) runs first: E1-E4
+// blocking-misuse and data-race errors, W1-W3 tag/capture/race warnings.
+// `// evmp-lint-ignore(<rule>)` comments suppress findings per site;
+// --no-ignores audits past them.
 //
 // Exit codes (CI gates depend on these staying distinct):
 //   0  success
@@ -44,6 +47,8 @@ void print_usage(std::ostream& out, const char* argv0) {
          "  --analyze            lint directives before translating\n"
          "  --analyze-only       lint and stop (no translation output)\n"
          "  --Werror             analysis warnings fail the run (exit 4)\n"
+         "  --no-ignores         disregard evmp-lint-ignore suppression "
+         "comments\n"
          "  --diag-format=<fmt>  diagnostics as 'text' (stderr) or 'json' "
          "(stdout)\n"
          "  --version            print version and exit\n"
@@ -65,6 +70,7 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool analyze_only = false;
   bool werror = false;
+  evmp::analysis::AnalyzeOptions analyze_options;
   evmp::compiler::TranslateOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
       analyze_only = true;
     } else if (arg == "--Werror") {
       werror = true;
+    } else if (arg == "--no-ignores") {
+      analyze_options.honor_ignores = false;
     } else if (arg == "--diag-format" || arg.rfind("--diag-format=", 0) == 0) {
       if (arg == "--diag-format") {
         if (i + 1 >= argc) {
@@ -129,7 +137,7 @@ int main(int argc, char** argv) {
 
   if (analyze) {
     const std::vector<evmp::analysis::Diagnostic> diags =
-        evmp::analysis::analyze_source(source);
+        evmp::analysis::analyze_source(source, analyze_options);
     if (diag_format == "json") {
       std::cout << evmp::analysis::render_json(diags, input);
     } else {
