@@ -23,6 +23,7 @@
 #include "common/table.hpp"
 #include "common/tracing.hpp"
 #include "forkjoin/team.hpp"
+#include "forkjoin/team_pool.hpp"
 #include "httpsim/connector.hpp"
 #include "httpsim/encryption_service.hpp"
 #include "httpsim/virtual_users.hpp"
@@ -43,11 +44,12 @@ struct Config {
 };
 
 EncryptionService::Config service_config(const Config& cfg, bool parallel,
-                                         bool pooled) {
+                                         bool pooled, bool adaptive = false) {
   EncryptionService::Config sc;
   sc.payload_bytes = cfg.payload;
   sc.parallel_width = parallel ? cfg.parallel_width : 1;
   sc.pooled_team = pooled;
+  sc.adaptive_width = adaptive;
   sc.work_model = cfg.model;
   if (cfg.model == evmp::kernels::WorkModel::kSimulated) {
     // Split the handler's simulated duration across the crypt units.
@@ -60,8 +62,9 @@ EncryptionService::Config service_config(const Config& cfg, bool parallel,
 }
 
 HttpLoadResult run_one(const Config& cfg, bool pyjama, bool parallel,
-                       int workers, bool pooled = false) {
-  EncryptionService service(service_config(cfg, parallel, pooled));
+                       int workers, bool pooled = false,
+                       bool adaptive = false) {
+  EncryptionService service(service_config(cfg, parallel, pooled, adaptive));
   if (pyjama) {
     evmp::http::PyjamaConnector connector(workers, service.handler());
     return evmp::http::run_virtual_users(connector, cfg.users);
@@ -90,6 +93,12 @@ int main(int argc, char** argv) {
   cfg.users.burst = static_cast<int>(args.get_long("burst", 1));
   evmp::kernels::set_simulated_cores(
       static_cast<int>(args.get_long("sim-cores", 16)));
+  if (cfg.model == evmp::kernels::WorkModel::kSimulated) {
+    // The governor must budget against the simulated machine's cores, not
+    // the container's, or adaptive widths would track the wrong host.
+    evmp::fj::TeamPool::instance().governor().set_cores(
+        evmp::kernels::simulated_cores());
+  }
 
   const auto thread_counts = args.get_long_list(
       "threads", full ? std::vector<long>{1, 2, 4, 8, 16, 24, 32}
@@ -110,7 +119,8 @@ int main(int argc, char** argv) {
 
   evmp::common::TextTable table;
   table.set_header({"workers", "jetty", "pyjama", "jetty+parallel",
-                    "pyjama+parallel", "pyjama+par(pooled)", "teams spawned",
+                    "pyjama+parallel", "pyjama+par(pooled)",
+                    "pyjama+par(adaptive)", "teams spawned",
                     "pooled helpers"});
 
   for (long workers : thread_counts) {
@@ -143,6 +153,19 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(pooled.failed));
     }
     row.push_back(evmp::common::fmt(pooled.throughput_rps, 1));
+    // The adaptive series: the WidthGovernor sizes each request's team from
+    // live load — full hint width on an idle machine, narrower (down to 1)
+    // under the request storm, so it must not drop below the plain
+    // connectors even at the highest worker counts.
+    const auto adaptive =
+        run_one(cfg, /*pyjama=*/true, /*parallel=*/true,
+                static_cast<int>(workers), /*pooled=*/true,
+                /*adaptive=*/true);
+    if (adaptive.failed != 0) {
+      std::fprintf(stderr, "# ERROR: %llu failed adaptive responses\n",
+                   static_cast<unsigned long long>(adaptive.failed));
+    }
+    row.push_back(evmp::common::fmt(adaptive.throughput_rps, 1));
     row.push_back(std::to_string(teams));
     row.push_back(std::to_string(evmp::fj::total_helper_threads_created() -
                                  pooled_before));
@@ -162,7 +185,9 @@ int main(int argc, char** argv) {
   }
 
   // Run-queue fan-in counters published by the executors of the final run
-  // (worker pool shards, dispatcher batches); see common::Tracer.
+  // (worker pool shards, dispatcher batches) plus the team pool's width
+  // decisions; see common::Tracer.
+  evmp::fj::TeamPool::instance().publish_counters();
   std::printf("# executor counters (last run):\n");
   for (const auto& [counter, value] :
        evmp::common::Tracer::instance().counters()) {

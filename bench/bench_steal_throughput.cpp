@@ -208,6 +208,48 @@ double read_budget(const std::string& path, const char* key,
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
+/// Measure steady-state allocations per adaptive TeamPool lease. After a
+/// warm-up that parks a team and settles the governor's decay cycle, each
+/// lease is a width decision (relaxed atomics), a bucket pop and a bucket
+/// push — the heap is never touched (budget "allocs_per_adaptive_lease").
+int run_adaptive_lease_alloc_check(const std::string& budget_path,
+                                   int width) {
+  const double budget =
+      read_budget(budget_path, "allocs_per_adaptive_lease", 0.0);
+  auto& pool = evmp::fj::TeamPool::instance();
+
+  constexpr int kWarmupLeases = 256;   // > WidthGovernor::kDecayPeriod
+  constexpr int kMeasuredLeases = 512;
+  for (int i = 0; i < kWarmupLeases; ++i) {
+    auto team = pool.lease_adaptive(width);
+    team->parallel([](int, int) {});
+  }
+
+  const std::uint64_t before = process_allocs();
+  for (int i = 0; i < kMeasuredLeases; ++i) {
+    auto team = pool.lease_adaptive(width);
+    team->parallel([](int, int) {});
+  }
+  const std::uint64_t delta = process_allocs() - before;
+
+  const double per_lease =
+      static_cast<double>(delta) / static_cast<double>(kMeasuredLeases);
+  std::printf(
+      "alloc-check: %llu process-wide allocations over %d adaptive leases "
+      "=> %.5f allocs/lease (budget %.5f)\n",
+      static_cast<unsigned long long>(delta), kMeasuredLeases, per_lease,
+      budget);
+  if (per_lease > budget) {
+    std::fprintf(stderr,
+                 "alloc-check FAILED: %.5f allocs/adaptive-lease exceeds "
+                 "budget %.5f\n",
+                 per_lease, budget);
+    return 1;
+  }
+  std::printf("adaptive-lease alloc-check passed\n");
+  return 0;
+}
+
 /// Measure steady-state allocations per executed task across the whole
 /// process. Paced in identical rounds so the ObjectPool population, the
 /// Chase–Lev buffers and the injection ring shards all reach their
@@ -298,7 +340,9 @@ int main(int argc, char** argv) {
                        std::to_string(depth),
                    "chase-lev", evmp::common::fmt(ms, 1),
                    evmp::common::fmt(static_cast<double>(tasks) / ms / 1e3, 2),
-                   std::to_string(lockfree.steals()),
+                   std::to_string(lockfree.steals()) + " (" +
+                       std::to_string(lockfree.near_steals()) + " near, " +
+                       std::to_string(lockfree.far_steals()) + " far)",
                    std::to_string(lockfree.local_pops())});
     lockfree.shutdown();
   }
@@ -339,6 +383,10 @@ int main(int argc, char** argv) {
               "single-CPU container wall times converge; the counters "
               "still separate the designs.\n");
 
-  if (!budget_path.empty()) return run_alloc_check(budget_path, threads);
+  if (!budget_path.empty()) {
+    const int rc = run_alloc_check(budget_path, threads);
+    if (rc != 0) return rc;
+    return run_adaptive_lease_alloc_check(budget_path, width);
+  }
   return 0;
 }

@@ -9,11 +9,15 @@
 //      [--pooled]     (with --parallel: lease teams from fj::TeamPool
 //                      instead of spawning one per request — the fix for
 //                      the paper's Figure 9 oversubscription collapse)
+//      [--adaptive]   (with --parallel: let the pool's WidthGovernor size
+//                      each request's team from live load — wide when the
+//                      service is idle, narrow under a request storm)
 
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "forkjoin/team.hpp"
+#include "forkjoin/team_pool.hpp"
 #include "httpsim/connector.hpp"
 #include "httpsim/encryption_service.hpp"
 #include "httpsim/virtual_users.hpp"
@@ -27,18 +31,22 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_long("payload", 8192));
   const int workers = static_cast<int>(args.get_long("workers", 4));
   const bool parallel = args.get_bool("parallel", false);
-  const bool pooled = args.get_bool("pooled", false);
+  const bool adaptive = args.get_bool("adaptive", false);
+  const bool pooled = args.get_bool("pooled", false) || adaptive;
 
   evmp::http::EncryptionService::Config cfg;
   cfg.payload_bytes = load.payload_bytes;
   cfg.parallel_width = parallel ? 3 : 1;
   cfg.pooled_team = pooled;
+  cfg.adaptive_width = adaptive;
 
   std::printf("HTTP encryption service: %d users x %d requests, %zuB "
               "payloads, %d workers%s%s\n\n",
               load.users, load.requests_per_user, load.payload_bytes,
               workers, parallel ? ", per-request omp parallel" : "",
-              pooled ? " (pooled teams)" : "");
+              adaptive  ? " (adaptive pooled teams)"
+              : pooled  ? " (pooled teams)"
+                        : "");
 
   const auto helpers_before = evmp::fj::total_helper_threads_created();
 
@@ -74,6 +82,12 @@ int main(int argc, char** argv) {
                     helpers_before),
                 pooled ? " (pooled: flat regardless of request count)"
                        : " (one team per request — compare with --pooled)");
+  }
+  if (adaptive) {
+    auto& pool = evmp::fj::TeamPool::instance();
+    std::printf("width governor: %d concurrent leases at peak, %zu idle "
+                "teams cached after trim\n",
+                pool.leased_high_water(), pool.idle_count());
   }
   return 0;
 }

@@ -382,6 +382,20 @@ std::string wrap_body(const std::string& body, bool braced) {
   return braced ? "{" + body + "}" : "{ " + body + " }";
 }
 
+/// num_threads(adaptive): the pool's WidthGovernor picks the width from
+/// live load instead of evaluating a user expression (DESIGN.md §11).
+bool adaptive_num_threads(const Directive& d) {
+  return strip_whitespace(d.num_threads) == "adaptive";
+}
+
+std::string lease_call(const Directive& d) {
+  if (adaptive_num_threads(d)) {
+    return "::evmp::fj::TeamPool::instance().lease_adaptive(0)";
+  }
+  return "::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
+         d.num_threads + "))";
+}
+
 }  // namespace
 
 std::string generate_parallel(const Directive& d, const std::string& body,
@@ -402,10 +416,9 @@ std::string generate_parallel(const Directive& d, const std::string& body,
     // Lease the region's team from the process-wide pool: a num_threads
     // clause inside an event handler no longer creates helper threads per
     // event (the Figure 9 pathology).
-    invoke = "{ auto __evmp_team_" + id +
-             " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
-             d.num_threads + ")); __evmp_team_" + id +
-             "->parallel(__evmp_region_" + id + "); }";
+    invoke = "{ auto __evmp_team_" + id + " = " + lease_call(d) +
+             "; __evmp_team_" + id + "->parallel(__evmp_region_" + id +
+             "); }";
   } else {
     invoke = "::evmp::fj::default_parallel(__evmp_region_" + id + ");";
   }
@@ -448,11 +461,10 @@ std::string generate_parallel_for(const Directive& d, const ForHeader& h,
        << ") {\n" << iter_body << "  };\n";
     std::string invoke;
     if (!d.num_threads.empty()) {
-      invoke = "{ auto __evmp_team_" + id +
-               " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
-               d.num_threads + ")); ::evmp::fj::parallel_for(*__evmp_team_" +
-               id + ", " + lo + ", " + hi + ", __evmp_loop_" + id + ", " +
-               schedule_expr(d) + ", " + chunk_expr(d) + "); }";
+      invoke = "{ auto __evmp_team_" + id + " = " + lease_call(d) +
+               "; ::evmp::fj::parallel_for(*__evmp_team_" + id + ", " + lo +
+               ", " + hi + ", __evmp_loop_" + id + ", " + schedule_expr(d) +
+               ", " + chunk_expr(d) + "); }";
     } else {
       invoke = "::evmp::fj::default_parallel_for(" + lo + ", " + hi +
                ", __evmp_loop_" + id + ", " + schedule_expr(d) + ", " +
@@ -472,10 +484,17 @@ std::string generate_parallel_for(const Directive& d, const ForHeader& h,
   }
 
   // Reductions: per-thread padded partials, combined after the join.
-  const std::string team_size =
-      d.num_threads.empty()
-          ? "::evmp::fj::default_team().num_threads()"
-          : "static_cast<int>(" + d.num_threads + ")";
+  std::string team_size;
+  if (d.num_threads.empty()) {
+    team_size = "::evmp::fj::default_team().num_threads()";
+  } else if (adaptive_num_threads(d)) {
+    // The governor picks the width at lease time, so the team must exist
+    // before the partial vectors can be sized.
+    os << "  auto __evmp_team_" << id << " = " << lease_call(d) << ";\n";
+    team_size = "__evmp_team_" + id + "->num_threads()";
+  } else {
+    team_size = "static_cast<int>(" + d.num_threads + ")";
+  }
   for (const auto& r : d.reductions) {
     const std::string part = "__evmp_red_" + r.var + "_" + id;
     os << "  std::vector<::evmp::fj::detail::Padded<" << decayed(r.var)
@@ -495,12 +514,16 @@ std::string generate_parallel_for(const Directive& d, const ForHeader& h,
      << id << ") {\n"
      << iter_body << "    }\n  };\n";
   std::string invoke;
-  if (!d.num_threads.empty()) {
-    invoke = "{ auto __evmp_team_" + id +
-             " = ::evmp::fj::TeamPool::instance().lease(static_cast<int>(" +
-             d.num_threads + ")); ::evmp::fj::parallel_ranges(*__evmp_team_" +
-             id + ", " + lo + ", " + hi + ", __evmp_ranges_" + id + ", " +
-             schedule_expr(d) + ", " + chunk_expr(d) + "); }";
+  if (adaptive_num_threads(d)) {
+    // Team already leased above (partials are sized from it).
+    invoke = "::evmp::fj::parallel_ranges(*__evmp_team_" + id + ", " + lo +
+             ", " + hi + ", __evmp_ranges_" + id + ", " + schedule_expr(d) +
+             ", " + chunk_expr(d) + ");";
+  } else if (!d.num_threads.empty()) {
+    invoke = "{ auto __evmp_team_" + id + " = " + lease_call(d) +
+             "; ::evmp::fj::parallel_ranges(*__evmp_team_" + id + ", " + lo +
+             ", " + hi + ", __evmp_ranges_" + id + ", " + schedule_expr(d) +
+             ", " + chunk_expr(d) + "); }";
   } else {
     invoke = "::evmp::fj::default_parallel_ranges(" + lo + ", " + hi +
              ", __evmp_ranges_" + id + ", " + schedule_expr(d) + ", " +

@@ -4,6 +4,7 @@
 #include <array>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 #include "common/tracing.hpp"
 
@@ -23,11 +24,33 @@ constexpr std::size_t kBatchChunk = 64;
 
 WorkStealingExecutor::WorkStealingExecutor(std::string pool_name,
                                            std::size_t num_threads)
-    : Executor(std::move(pool_name)) {
+    : WorkStealingExecutor(
+          std::move(pool_name), num_threads, common::Topology::instance(),
+          common::env_bool("EVMP_PIN").value_or(false)) {}
+
+WorkStealingExecutor::WorkStealingExecutor(std::string pool_name,
+                                           std::size_t num_threads,
+                                           const common::Topology& topo,
+                                           bool pin)
+    : Executor(std::move(pool_name)), pin_workers_(pin) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
+  const int n = static_cast<int>(num_threads);
+  for (int i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    // Near-before-far probe order, randomised within each distance tier
+    // (per-worker seed: deterministic across runs, distinct across
+    // workers so equal-tier thieves fan out).
+    auto order = topo.victim_order(i, n, 0x5eed);
+    worker->victims = std::move(order.order);
+    worker->near_victims = order.near_count;
+    worker->cpu = topo.cpu(topo.cpu_for_worker(i)).id;
+    workers_.push_back(std::move(worker));
+  }
+  if (pin_workers_) {
+    // Producer locality → shard locality: hash foreign posts by the CPU
+    // they run on instead of by thread identity.
+    injection_.set_cpu_home(true);
   }
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -115,18 +138,41 @@ bool WorkStealingExecutor::take_node(int self, TaskNode*& out) {
     injection_pops_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  // 3. Steal oldest-first from a rotating victim. A lost CAS (kAbort)
-  //    means the victim demonstrably has traffic — retry it rather than
-  //    walking away from a deque that had work an instant ago.
+  // 3. Steal oldest-first, near victims before far ones. A lost CAS
+  //    (kAbort) means the victim demonstrably has traffic — retry it
+  //    rather than walking away from a deque that had work an instant ago.
+  using Steal = common::ChaseLevDeque<TaskNode*>::Steal;
+  if (self >= 0) {
+    // Worker thief: probe this worker's topology-ordered victim list (SMT
+    // sibling, LLC peers, node peers, remote — shuffled within tiers at
+    // construction). Always starting at the nearest victim is the point:
+    // a hit there keeps the task's captures inside the shared cache.
+    const Worker& me = *workers_[static_cast<std::size_t>(self)];
+    for (std::size_t k = 0; k < me.victims.size(); ++k) {
+      auto& victim =
+          workers_[static_cast<std::size_t>(me.victims[k])]->deque;
+      for (;;) {
+        const Steal result = victim.steal_top(out);
+        if (result == Steal::kSuccess) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          if (k < me.near_victims) {
+            near_steals_.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        }
+        if (result == Steal::kEmpty) break;
+      }
+    }
+    return false;
+  }
+  // Foreign thief (try_run_one from outside, shutdown drain): no locality
+  // to exploit — rotate uniformly so repeated helpers spread out.
   const std::size_t n = workers_.size();
   const std::size_t start =
       next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
   for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t v = (start + k) % n;
-    if (self >= 0 && v == static_cast<std::size_t>(self)) continue;
-    auto& victim = workers_[v]->deque;
+    auto& victim = workers_[(start + k) % n]->deque;
     for (;;) {
-      using Steal = common::ChaseLevDeque<TaskNode*>::Steal;
       const Steal result = victim.steal_top(out);
       if (result == Steal::kSuccess) {
         steals_.fetch_add(1, std::memory_order_relaxed);
@@ -180,16 +226,39 @@ void WorkStealingExecutor::shutdown() {
                      local_pops_.load(std::memory_order_relaxed));
   tracer.set_counter(prefix + ".steals",
                      steals_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".near_steals",
+                     near_steals_.load(std::memory_order_relaxed));
+  tracer.set_counter(prefix + ".far_steals", far_steals());
+  if (pin_workers_) {
+    tracer.set_counter(prefix + ".pinned_workers",
+                       pinned_workers_.load(std::memory_order_relaxed));
+  }
   tracer.set_counter(prefix + ".injection_pops",
                      injection_pops_.load(std::memory_order_relaxed));
   tracer.set_counter(prefix + ".batch_posts",
                      batch_posts_.load(std::memory_order_relaxed));
 }
 
+std::vector<int> WorkStealingExecutor::victim_order_for(int worker) const {
+  return workers_.at(static_cast<std::size_t>(worker))->victims;
+}
+
+std::size_t WorkStealingExecutor::near_victims_of(int worker) const {
+  return workers_.at(static_cast<std::size_t>(worker))->near_victims;
+}
+
 void WorkStealingExecutor::worker_main(int index) {
   ThreadBinding bind(this);
   t_pool = this;
   t_worker_index = index;
+  if (pin_workers_) {
+    // Advisory: a refused sched_setaffinity (cpuset limits, non-Linux)
+    // leaves the worker unpinned — correctness never depends on placement.
+    const int cpu = workers_[static_cast<std::size_t>(index)]->cpu;
+    if (common::Topology::pin_current_thread(cpu)) {
+      pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   TaskNode* node = nullptr;
   for (;;) {
     if (take_node(index, node)) {

@@ -20,11 +20,24 @@
 //  * idle workers spin-then-park on a common::EventCount — notify_one
 //    wakes exactly one worker the moment work arrives (no 1 ms polling, no
 //    thundering-herd rescan of every deque), and a producer that finds no
-//    waiters never reaches a syscall.
+//    waiters never reaches a syscall;
+//  * steal victims are probed near-before-far: each worker's victim order
+//    is built once from common::Topology (SMT sibling, then LLC peer, then
+//    same NUMA node, then remote; randomised within each tier), so a
+//    stolen task's captures cross the smallest possible cache boundary.
+//    near_steals()/far_steals() split the counter at the LLC tier. On
+//    flat topologies (no sysfs) every peer ranks equal and the order
+//    degrades to the shuffled-uniform scan used before.
+//
+// EVMP_PIN=1 additionally pins worker i to its topology CPU and switches
+// the injection queue's home-shard hash from thread identity to the
+// current CPU, so producer locality maps onto shard locality. Pinning is
+// advisory: where sched_setaffinity is unavailable or refused the workers
+// simply run unpinned (pinned_workers() reports how many stuck).
 //
 // bench_steal_throughput and bench_ablation_pool quantify the gap against
 // LockedWorkStealingExecutor; DESIGN.md §9 documents the memory-ordering
-// and parking arguments.
+// and parking arguments, §11 the victim ordering and pinning semantics.
 
 #include <atomic>
 #include <cstdint>
@@ -36,15 +49,23 @@
 #include "common/event_count.hpp"
 #include "common/object_pool.hpp"
 #include "common/sharded_queue.hpp"
+#include "common/topology.hpp"
 #include "executor/executor.hpp"
 
 namespace evmp::exec {
 
 /// Fixed-size pool with per-worker lock-free Chase–Lev deques, a sharded
-/// injection queue for foreign submissions, and event-count parking.
+/// injection queue for foreign submissions, topology-ordered stealing and
+/// event-count parking.
 class WorkStealingExecutor final : public Executor {
  public:
+  /// Builds victim orders from the process topology
+  /// (common::Topology::instance()) and honours EVMP_PIN.
   WorkStealingExecutor(std::string name, std::size_t num_threads);
+  /// Explicit-topology variant (tests inject fake machines; `topo` is
+  /// copied). `pin` forces worker pinning on or off regardless of EVMP_PIN.
+  WorkStealingExecutor(std::string name, std::size_t num_threads,
+                       const common::Topology& topo, bool pin);
   ~WorkStealingExecutor() override;
 
   void post(Task task) override;
@@ -65,9 +86,18 @@ class WorkStealingExecutor final : public Executor {
   [[nodiscard]] std::uint64_t local_pops() const noexcept {
     return local_pops_.load(std::memory_order_relaxed);
   }
-  /// Tasks stolen from another worker's deque.
+  /// Tasks stolen from another worker's deque (all distances).
   [[nodiscard]] std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);
+  }
+  /// Steals from a victim within the thief's LLC tier (SMT sibling or
+  /// cache peer). Foreign-thread steals have no locality and count as far.
+  [[nodiscard]] std::uint64_t near_steals() const noexcept {
+    return near_steals_.load(std::memory_order_relaxed);
+  }
+  /// Steals that crossed the LLC boundary (plus foreign-thread steals).
+  [[nodiscard]] std::uint64_t far_steals() const noexcept {
+    return steals() - near_steals();
   }
   /// Tasks taken from the foreign-submission injection queue.
   [[nodiscard]] std::uint64_t injection_pops() const noexcept {
@@ -77,6 +107,18 @@ class WorkStealingExecutor final : public Executor {
   [[nodiscard]] std::uint64_t batch_posts() const noexcept {
     return batch_posts_.load(std::memory_order_relaxed);
   }
+  /// Workers successfully pinned to their topology CPU (0 unless
+  /// EVMP_PIN=1 or the pinning constructor was used).
+  [[nodiscard]] std::uint64_t pinned_workers() const noexcept {
+    return pinned_workers_.load(std::memory_order_relaxed);
+  }
+
+  /// The victim probe order (worker indices, near-before-far) built for
+  /// one worker — exposed for tests and diagnostics.
+  [[nodiscard]] std::vector<int> victim_order_for(int worker) const;
+  /// How many leading entries of victim_order_for(worker) are near (same
+  /// LLC tier).
+  [[nodiscard]] std::size_t near_victims_of(int worker) const;
 
  private:
   /// Pooled envelope a deque slot points at. The pool requires the node to
@@ -92,11 +134,18 @@ class WorkStealingExecutor final : public Executor {
     // Separate cache lines per worker happen naturally: ChaseLevDeque
     // aligns its hot indices to 64 B internally.
     common::ChaseLevDeque<TaskNode*> deque;
+    // Steal probe order (worker indices), nearest tier first; the first
+    // near_victims entries share this worker's LLC. Immutable after
+    // construction.
+    std::vector<int> victims;
+    std::size_t near_victims = 0;
+    int cpu = -1;  ///< topology CPU this worker pins to under EVMP_PIN
   };
 
   /// Take a node: own deque first (LIFO), then the injection queue, then
-  /// steal (FIFO) from a rotating victim, retrying a victim on a lost CAS
-  /// race. `self` < 0 means a foreign caller (injection + steal only).
+  /// steal (FIFO) near-before-far along the worker's victim order,
+  /// retrying a victim on a lost CAS race. `self` < 0 means a foreign
+  /// caller (injection + rotating uniform steal only).
   bool take_node(int self, TaskNode*& out);
   /// Unwrap, recycle the envelope, run. Recycling before running keeps the
   /// node hot for a task that immediately spawns more work.
@@ -107,13 +156,16 @@ class WorkStealingExecutor final : public Executor {
   std::vector<std::unique_ptr<Worker>> workers_;
   common::ShardedMpmcQueue<TaskNode*> injection_;
   common::EventCount idle_;
+  bool pin_workers_ = false;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shut_down_{false};
   std::atomic<std::uint64_t> next_victim_{0};
   std::atomic<std::uint64_t> local_pops_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> near_steals_{0};
   std::atomic<std::uint64_t> injection_pops_{0};
   std::atomic<std::uint64_t> batch_posts_{0};
+  std::atomic<std::uint64_t> pinned_workers_{0};
   std::vector<std::jthread> threads_;  // last: start after queues exist
 };
 

@@ -1,5 +1,11 @@
 #include "forkjoin/team_pool.hpp"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/tracing.hpp"
+
 namespace evmp::fj {
 
 TeamPool& TeamPool::instance() {
@@ -13,41 +19,100 @@ TeamPool& TeamPool::instance() {
 TeamPool::Lease TeamPool::lease(int width) {
   if (width < 1) width = 1;
   leases_granted_.fetch_add(1, std::memory_order_relaxed);
+  governor_.on_lease();  // every lease is a running region: a load signal
+  Bucket& bucket = bucket_for(width);
   {
-    std::scoped_lock lk(mu_);
-    auto it = idle_.find(width);
-    if (it != idle_.end() && !it->second.empty()) {
-      std::unique_ptr<Team> team = std::move(it->second.back());
-      it->second.pop_back();
-      return Lease(this, std::move(team));
+    std::unique_lock lk(bucket.mu, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      lease_contentions_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    }
+    // Direct-mapped buckets hold one width; the overflow bucket (> 64)
+    // mixes widths and needs an exact-match scan.
+    auto& teams = bucket.teams;
+    if (width <= kMaxBucketWidth) {
+      if (!teams.empty()) {
+        std::unique_ptr<Team> team = std::move(teams.back());
+        teams.pop_back();
+        idle_total_.fetch_sub(1, std::memory_order_relaxed);
+        return Lease(this, std::move(team));
+      }
+    } else {
+      for (auto it = teams.begin(); it != teams.end(); ++it) {
+        if ((*it)->num_threads() == width) {
+          std::unique_ptr<Team> team = std::move(*it);
+          *it = std::move(teams.back());
+          teams.pop_back();
+          idle_total_.fetch_sub(1, std::memory_order_relaxed);
+          return Lease(this, std::move(team));
+        }
+      }
     }
   }
   // Miss: construct outside the lock (Team's constructor spawns helper
-  // threads; holding mu_ across that would serialise every concurrent
-  // first-touch lease).
+  // threads; holding the bucket lock across that would serialise every
+  // concurrent first-touch lease of this width).
   teams_created_.fetch_add(1, std::memory_order_relaxed);
   return Lease(this, std::make_unique<Team>(width));
 }
 
-void TeamPool::give_back(std::unique_ptr<Team> team) {
-  std::scoped_lock lk(mu_);
-  idle_[team->num_threads()].push_back(std::move(team));
-}
-
-std::size_t TeamPool::cached() const {
-  std::scoped_lock lk(mu_);
-  std::size_t total = 0;
-  for (const auto& [width, teams] : idle_) total += teams.size();
-  return total;
-}
-
-void TeamPool::clear() {
-  std::unordered_map<int, std::vector<std::unique_ptr<Team>>> drained;
-  {
-    std::scoped_lock lk(mu_);
-    drained.swap(idle_);
+TeamPool::Lease TeamPool::lease_adaptive(int hint) {
+  const int width = governor_.decide(hint);
+  if (governor_.decay_due()) {
+    // Load has had kDecayPeriod leases to re-peak the estimate; anything
+    // the decayed floor no longer covers is a stale burst remnant whose
+    // helper threads can be released.
+    trim(governor_.decay());
   }
-  // Teams (and their helper joins) die outside the lock.
+  return lease(width);
+}
+
+void TeamPool::give_back(std::unique_ptr<Team> team) {
+  governor_.on_release();
+  Bucket& bucket = bucket_for(team->num_threads());
+  std::scoped_lock lk(bucket.mu);
+  bucket.teams.push_back(std::move(team));
+  idle_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TeamPool::trim(std::size_t floor) {
+  if (idle_total_.load(std::memory_order_relaxed) <= floor) return;
+  std::vector<std::unique_ptr<Team>> drained;
+  // Walk widest-first: wide teams pin the most helper threads per slot.
+  // The overflow bucket (index 0) holds the widest teams of all, then the
+  // direct-mapped buckets from kMaxBucketWidth down to 1.
+  for (std::size_t step = 0; step <= static_cast<std::size_t>(kMaxBucketWidth);
+       ++step) {
+    const std::size_t index =
+        step == 0 ? 0 : static_cast<std::size_t>(kMaxBucketWidth) + 1 - step;
+    Bucket& bucket = buckets_[index];
+    std::scoped_lock lk(bucket.mu);
+    while (!bucket.teams.empty() &&
+           idle_total_.load(std::memory_order_relaxed) > floor) {
+      drained.push_back(std::move(bucket.teams.back()));
+      bucket.teams.pop_back();
+      idle_total_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (idle_total_.load(std::memory_order_relaxed) <= floor) break;
+  }
+  // Teams (and their helper-thread joins) die outside the locks.
+}
+
+void TeamPool::publish_counters(std::string_view prefix) const {
+  auto& tracer = common::Tracer::instance();
+  const std::string base(prefix);
+  tracer.set_counter(base + ".teams_created",
+                     teams_created_.load(std::memory_order_relaxed));
+  tracer.set_counter(base + ".leases_granted",
+                     leases_granted_.load(std::memory_order_relaxed));
+  tracer.set_counter(base + ".lease_contentions",
+                     lease_contentions_.load(std::memory_order_relaxed));
+  tracer.set_counter(base + ".leased_high_water",
+                     static_cast<std::uint64_t>(
+                         std::max(0, governor_.high_water())));
+  tracer.set_counter(base + ".idle_teams",
+                     idle_total_.load(std::memory_order_relaxed));
+  governor_.publish_counters(base);
 }
 
 }  // namespace evmp::fj

@@ -20,7 +20,12 @@ Response EncryptionService::serve(const Request& request) {
   auto kernel = pool_->acquire();
   std::uint64_t checksum = 0;
   if (cfg_.parallel_width > 1) {
-    if (cfg_.pooled_team) {
+    if (cfg_.adaptive_width) {
+      // The elastic fix: the governor widens this request's team on an
+      // idle machine and narrows it when many requests are in flight, so
+      // per-request parallelism never oversubscribes the cores.
+      checksum = kernel->run_parallel_adaptive(cfg_.parallel_width);
+    } else if (cfg_.pooled_team) {
       // The fix: lease a cached team, so helper-thread creation stays
       // flat no matter how many requests arrive.
       checksum = kernel->run_parallel_pooled(cfg_.parallel_width);

@@ -33,6 +33,12 @@ class EncryptionService {
     /// reproduction; turning this on is the paper-implied fix (the
     /// "pooled-team" series in results/fig9.csv).
     bool pooled_team = false;
+    /// With parallel_width > 1: let the pool's WidthGovernor size each
+    /// request's team from live load (parallel_width becomes the upper
+    /// hint) — a lone request gets the full width, concurrent requests
+    /// get narrower teams instead of oversubscribing the cores. Implies
+    /// pooled teams ("pyjama+par(adaptive)" in results/fig9.csv).
+    bool adaptive_width = false;
     kernels::WorkModel work_model = kernels::WorkModel::kReal;
     common::Nanos per_unit{0};  ///< simulated duration per crypt unit
   };

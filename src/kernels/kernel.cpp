@@ -94,6 +94,12 @@ std::uint64_t Kernel::run_parallel_pooled(int width, fj::Schedule sched,
   return run_parallel(*team, sched, chunk);
 }
 
+std::uint64_t Kernel::run_parallel_adaptive(int max_width, fj::Schedule sched,
+                                            long chunk) {
+  auto team = fj::TeamPool::instance().lease_adaptive(max_width);
+  return run_parallel(*team, sched, chunk);
+}
+
 std::uint64_t Kernel::run_parallel_range(fj::Team& team, long range_lo,
                                          long range_hi, fj::Schedule sched,
                                          long chunk) {

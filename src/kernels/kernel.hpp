@@ -97,6 +97,14 @@ class Kernel {
                                     fj::Schedule sched = fj::Schedule::kStatic,
                                     long chunk = 0);
 
+  /// Full run across an elastically sized team: the pool's WidthGovernor
+  /// grants up to `max_width` threads (<= 0 means "as wide as useful"),
+  /// narrowing under concurrent load so simultaneous handlers never
+  /// oversubscribe the cores (the Figure 9 level-off fix, DESIGN.md §11).
+  std::uint64_t run_parallel_adaptive(
+      int max_width = 0, fj::Schedule sched = fj::Schedule::kStatic,
+      long chunk = 0);
+
   /// Parallel run restricted to units [lo, hi) — used by handlers that
   /// interleave GUI progress updates between kernel halves. Virtual so
   /// kernels with cross-unit ordering constraints (e.g. SOR's red/black

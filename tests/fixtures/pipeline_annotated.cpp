@@ -84,4 +84,16 @@ double run_traditional(int n) {
          1000.0 * static_cast<double>(members);
 }
 
+// Elastic width: num_threads(adaptive) lets the runtime's WidthGovernor
+// size the team from live load, so the computation must be width-agnostic
+// (here a + reduction that counts the range exactly once).
+long run_adaptive(int n) {
+  long count = 0;
+  #pragma omp parallel for num_threads(adaptive) reduction(+: count)
+  for (int i = 0; i < n; ++i) {
+    if (i >= 0) ++count;
+  }
+  return count;
+}
+
 }  // namespace evmp_fixture

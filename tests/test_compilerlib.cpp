@@ -262,6 +262,38 @@ TEST(Translator, ParallelForWithNumThreadsLeasesPooledTeam) {
   EXPECT_NE(r.output.find("parallel_for(*__evmp_team_0"), std::string::npos);
 }
 
+TEST(Translator, NumThreadsAdaptiveLeasesFromGovernor) {
+  const auto r = translate_source(
+      "#pragma omp parallel for num_threads(adaptive)\n"
+      "for (long i = 0; i < 10; ++i) f(i);\n",
+      no_include());
+  EXPECT_NE(r.output.find("::evmp::fj::TeamPool::instance().lease_adaptive(0)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("parallel_for(*__evmp_team_0"), std::string::npos);
+}
+
+TEST(Translator, AdaptiveParallelRegionUsesGovernor) {
+  const auto r = translate_source(
+      "//#omp parallel num_threads( adaptive )\n{ g(); }\n", no_include());
+  EXPECT_NE(r.output.find("lease_adaptive(0)"), std::string::npos);
+  EXPECT_NE(r.output.find("->parallel(__evmp_region_0)"), std::string::npos);
+}
+
+TEST(Translator, AdaptiveReductionSizesPartialsFromLeasedTeam) {
+  // The governor picks the width at lease time, so the lease must precede
+  // the partial vectors and size them from the leased team.
+  const auto r = translate_source(
+      "#pragma omp parallel for num_threads(adaptive) reduction(+: sum)\n"
+      "for (int i = 0; i < n; ++i) sum += i;\n",
+      no_include());
+  const auto lease_at = r.output.find("lease_adaptive(0)");
+  const auto partials_at = r.output.find("__evmp_red_sum_0(");
+  ASSERT_NE(lease_at, std::string::npos);
+  ASSERT_NE(partials_at, std::string::npos);
+  EXPECT_LT(lease_at, partials_at);
+  EXPECT_NE(r.output.find("__evmp_team_0->num_threads()"), std::string::npos);
+}
+
 TEST(Translator, ReductionGeneratesPartialsAndCombine) {
   const auto r = translate_source(
       "#pragma omp parallel for reduction(+: sum)\n"

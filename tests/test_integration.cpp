@@ -18,6 +18,7 @@ namespace evmp_fixture {
 // Compiled from evmpcc output (see tests/CMakeLists.txt).
 std::vector<std::string> run_pipeline(evmp::Runtime& rt, bool offload);
 double run_traditional(int n);
+long run_adaptive(int n);
 }  // namespace evmp_fixture
 
 namespace evmp {
@@ -161,6 +162,17 @@ TEST(TranslatedTraditional, ParallelForWithReductionsComputesExactly) {
   const int n = 100;
   const double expected = 4950.0 + 99.0 + 98.0 + 4000.0;
   EXPECT_DOUBLE_EQ(evmp_fixture::run_traditional(n), expected);
+}
+
+TEST(TranslatedTraditional, AdaptiveWidthComputesExactly) {
+  // num_threads(adaptive): the WidthGovernor picks the team width, so the
+  // reduction must partition the range exactly regardless of the width
+  // granted under the test machine's load.
+  EXPECT_EQ(evmp_fixture::run_adaptive(1000), 1000L);
+  EXPECT_EQ(evmp_fixture::run_adaptive(1), 1L);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(evmp_fixture::run_adaptive(257), 257L);
+  }
 }
 
 TEST(TranslatedTraditional, StableAcrossRepeats) {

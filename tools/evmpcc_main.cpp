@@ -52,7 +52,12 @@ void print_usage(std::ostream& out, const char* argv0) {
          "  --diag-format=<fmt>  diagnostics as 'text' (stderr) or 'json' "
          "(stdout)\n"
          "  --version            print version and exit\n"
-         "  -h, --help           this message\n";
+         "  -h, --help           this message\n"
+         "\n"
+         "directive notes:\n"
+         "  num_threads(adaptive)  let the runtime's WidthGovernor size the\n"
+         "                         region's team from live load instead of\n"
+         "                         evaluating an expression (elastic teams)\n";
 }
 
 int usage_error(const char* argv0, const std::string& message) {
