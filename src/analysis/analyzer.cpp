@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cctype>
 #include <functional>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <tuple>
+#include <unordered_set>
 #include <utility>
 
+#include "analysis/call_graph.hpp"
 #include "analysis/capture_analysis.hpp"
+#include "analysis/function_summary.hpp"
 #include "analysis/mhp.hpp"
 
 namespace evmp::analysis {
@@ -26,6 +32,23 @@ bool is_ident_char(char c) noexcept {
 
 bool in_list(const std::vector<std::string>& list, const std::string& name) {
   return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+/// One translation unit of the analysis: its directive graph, call graph,
+/// and capture accesses. `file` is empty in single-TU mode, which keeps
+/// every message and rendering byte-identical to the historical output.
+struct Tu {
+  std::string file;
+  std::unique_ptr<DirectiveGraph> owned;  ///< program mode owns its graph
+  const DirectiveGraph* graph = nullptr;
+  std::unique_ptr<CallGraph> cg;
+  std::vector<RegionAccesses> captures;
+};
+
+/// "line 7" in single-TU mode, "a.cpp:7" when the location names a file.
+std::string loc_of(const std::string& file, int line) {
+  if (file.empty()) return "line " + std::to_string(line);
+  return file + ":" + std::to_string(line);
 }
 
 // --- E1 / E2: blocking dispatch from a forbidden execution context -------
@@ -63,6 +86,54 @@ void check_blocking_context(const DirectiveGraph& graph,
   }
 }
 
+// --- interprocedural E1 / E2: the blocking dispatch sits in a callee -----
+
+void check_call_blocking(const Tu& tu, const SummaryTable& table,
+                         std::vector<Diagnostic>& out) {
+  // One finding per (call line, rule, target): a call chain reaching the
+  // same bad dispatch through several paths reports once.
+  std::set<std::tuple<int, std::string, std::string>> seen;
+  for (const AttributedCall& call : tu.cg->calls()) {
+    const std::string host = tu.cg->context_target(call.site.pos);
+    if (host.empty()) continue;
+    const FunctionSummary* summary = table.summary(call.site.callee);
+    if (summary == nullptr) continue;
+    for (const SummaryDispatch& d : summary->dispatches) {
+      if (d.mode != Async::kDefault || d.target.empty()) continue;
+      const bool self = d.target == host;
+      if (!self && host != kEdtName) continue;
+      const std::string rule = self ? "E1" : "E2";
+      if (!seen.emplace(call.site.line, rule, d.target).second) continue;
+      std::vector<CallFrame> path{{call.site.callee, tu.file, call.site.line}};
+      path.insert(path.end(), d.path.begin(), d.path.end());
+      std::string entry = "<file scope>";
+      if (call.caller >= 0) {
+        entry =
+            tu.cg->functions()[static_cast<std::size_t>(call.caller)].name;
+      }
+      const std::string via = render_call_path(entry, path) +
+                              " (dispatch at " + loc_of(d.file, d.line) + ")";
+      if (self) {
+        out.push_back(
+            {"E1", Severity::kError, call.site.line,
+             "blocking default-mode dispatch to '" + d.target +
+                 "' reached from a region already running on '" + host +
+                 "' through " + via +
+                 ": a busy serial executor deadlocks on itself — use await, "
+                 "nowait, or name_as"});
+      } else {
+        out.push_back(
+            {"E2", Severity::kError, call.site.line,
+             "blocking default-mode dispatch to '" + d.target +
+                 "' reached from the '" + std::string(kEdtName) +
+                 "' region through " + via +
+                 " blocks the event-dispatch thread (the Figure 1 freeze) — "
+                 "use await or nowait"});
+      }
+    }
+  }
+}
+
 // --- E3: cyclic blocking chains ------------------------------------------
 
 /// One cross-target blocking dependency: while a thread of `from` runs the
@@ -72,40 +143,85 @@ struct BlockingEdge {
   std::string to;
   int line = 0;
   std::string why;
+  std::string file;
 };
 
-std::vector<BlockingEdge> blocking_edges(const DirectiveGraph& graph) {
+std::vector<BlockingEdge> blocking_edges(const std::vector<Tu>& tus,
+                                         const SummaryTable& table) {
+  // name_as producers of the whole program, in TU/node order, deduplicated
+  // per (tag, target) — wait(tag) joins block on each producer's target.
+  std::vector<std::pair<std::string, std::string>> producers;
+  {
+    std::set<std::pair<std::string, std::string>> producer_seen;
+    for (const Tu& tu : tus) {
+      for (const RegionNode& node : tu.graph->nodes()) {
+        if (node.directive.mode != Async::kNameAs) continue;
+        const std::string target = node.directive.target_name();
+        if (target.empty()) continue;
+        if (producer_seen.emplace(node.directive.name_tag, target).second) {
+          producers.emplace_back(node.directive.name_tag, target);
+        }
+      }
+    }
+  }
+
   std::vector<BlockingEdge> edges;
   std::set<std::pair<std::string, std::string>> join_seen;
-  const auto& nodes = graph.nodes();
-  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
-    const RegionNode& node = nodes[static_cast<std::size_t>(i)];
-    const int host_index = graph.enclosing_target(i);
-    if (host_index < 0) continue;
-    const std::string host =
-        nodes[static_cast<std::size_t>(host_index)].directive.target_name();
-    if (host.empty()) continue;
-    if (node.directive.kind == Kind::kTarget &&
-        node.directive.mode == Async::kDefault) {
-      const std::string target = node.directive.target_name();
-      if (!target.empty() && target != host) {
-        edges.push_back({host, target, node.directive.line,
-                         "default-mode dispatch"});
-      }
-    } else if (node.directive.kind == Kind::kWait) {
-      // wait(tag) hard-blocks on every name_as(tag) producer's target.
-      // The self-target case is excluded: the waiting member thread pumps
-      // its own queue (wait_tag's help function), so it cannot wedge.
-      for (const RegionNode& producer : nodes) {
-        if (producer.directive.mode != Async::kNameAs ||
-            producer.directive.name_tag != node.directive.wait_tag) {
-          continue;
+  for (const Tu& tu : tus) {
+    const auto& nodes = tu.graph->nodes();
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+      const RegionNode& node = nodes[static_cast<std::size_t>(i)];
+      const int host_index = tu.graph->enclosing_target(i);
+      if (host_index < 0) continue;
+      const std::string host =
+          nodes[static_cast<std::size_t>(host_index)].directive.target_name();
+      if (host.empty()) continue;
+      if (node.directive.kind == Kind::kTarget &&
+          node.directive.mode == Async::kDefault) {
+        const std::string target = node.directive.target_name();
+        if (!target.empty() && target != host) {
+          edges.push_back({host, target, node.directive.line,
+                           "default-mode dispatch", tu.file});
         }
-        const std::string target = producer.directive.target_name();
-        if (target.empty() || target == host) continue;
-        if (!join_seen.emplace(host, target).second) continue;
-        edges.push_back({host, target, node.directive.line,
-                         "wait(" + node.directive.wait_tag + ") join"});
+      } else if (node.directive.kind == Kind::kWait) {
+        // wait(tag) hard-blocks on every name_as(tag) producer's target.
+        // The self-target case is excluded: the waiting member thread pumps
+        // its own queue (wait_tag's help function), so it cannot wedge.
+        for (const auto& [tag, target] : producers) {
+          if (tag != node.directive.wait_tag) continue;
+          if (target == host) continue;
+          if (!join_seen.emplace(host, target).second) continue;
+          edges.push_back({host, target, node.directive.line,
+                           "wait(" + node.directive.wait_tag + ") join",
+                           tu.file});
+        }
+      }
+    }
+    // Call-mediated blocking: a call inside a region whose callee's
+    // summary blocks (default-mode dispatch or wait join) on another
+    // executor blocks the hosting executor the same way.
+    for (const AttributedCall& call : tu.cg->calls()) {
+      const std::string host = tu.cg->context_target(call.site.pos);
+      if (host.empty()) continue;
+      const FunctionSummary* summary = table.summary(call.site.callee);
+      if (summary == nullptr) continue;
+      for (const SummaryDispatch& d : summary->dispatches) {
+        if (d.mode != Async::kDefault || d.target.empty()) continue;
+        if (d.target == host) continue;  // E1's domain
+        edges.push_back({host, d.target, call.site.line,
+                         "default-mode dispatch via call to " +
+                             render_call_path(call.site.callee, d.path),
+                         tu.file});
+      }
+      for (const SummaryWait& w : summary->waits) {
+        for (const auto& [tag, target] : producers) {
+          if (tag != w.tag || target == host) continue;
+          if (!join_seen.emplace(host, target).second) continue;
+          edges.push_back({host, target, call.site.line,
+                           "wait(" + w.tag + ") join via call to " +
+                               render_call_path(call.site.callee, w.path),
+                           tu.file});
+        }
       }
     }
   }
@@ -173,9 +289,8 @@ std::vector<std::vector<std::string>> components(
   return sccs;
 }
 
-void check_blocking_cycles(const DirectiveGraph& graph,
+void check_blocking_cycles(const std::vector<BlockingEdge>& edges,
                            std::vector<Diagnostic>& out) {
-  const std::vector<BlockingEdge> edges = blocking_edges(graph);
   for (const std::vector<std::string>& scc : components(edges)) {
     if (scc.size() < 2) continue;  // self-edges are excluded by construction
     const std::set<std::string> members(scc.begin(), scc.end());
@@ -187,6 +302,7 @@ void check_blocking_cycles(const DirectiveGraph& graph,
     }
     std::sort(internal.begin(), internal.end(),
               [](const BlockingEdge* a, const BlockingEdge* b) {
+                if (a->file != b->file) return a->file < b->file;
                 return a->line < b->line;
               });
 
@@ -211,40 +327,52 @@ void check_blocking_cycles(const DirectiveGraph& graph,
     std::string detail;
     for (const BlockingEdge* e : internal) {
       if (!detail.empty()) detail += "; ";
-      detail += "line " + std::to_string(e->line) + ": '" + e->from +
-                "' blocks on '" + e->to + "' via " + e->why;
+      detail += loc_of(e->file, e->line) + ": '" + e->from + "' blocks on '" +
+                e->to + "' via " + e->why;
     }
     out.push_back({"E3", Severity::kError, internal.front()->line,
                    "cyclic blocking chain between virtual targets: " + chain +
-                       " (" + detail + ")"});
+                       " (" + detail + ")",
+                   internal.front()->file});
   }
 }
 
 // --- W1: unmatched name_as / wait tags -----------------------------------
 
-void check_tag_pairing(const DirectiveGraph& graph,
+void check_tag_pairing(const std::vector<Tu>& tus, bool linked,
                        std::vector<Diagnostic>& out) {
-  std::map<std::string, int> producers;  // tag -> first name_as line
-  std::map<std::string, int> waits;      // tag -> first wait line
-  for (const RegionNode& node : graph.nodes()) {
-    if (node.directive.mode == Async::kNameAs) {
-      producers.emplace(node.directive.name_tag, node.directive.line);
-    } else if (node.directive.kind == Kind::kWait) {
-      waits.emplace(node.directive.wait_tag, node.directive.line);
+  struct TagSite {
+    int line = 0;
+    std::string file;
+  };
+  std::map<std::string, TagSite> producers;  // tag -> first name_as site
+  std::map<std::string, TagSite> waits;      // tag -> first wait site
+  for (const Tu& tu : tus) {
+    for (const RegionNode& node : tu.graph->nodes()) {
+      if (node.directive.mode == Async::kNameAs) {
+        producers.emplace(node.directive.name_tag,
+                          TagSite{node.directive.line, tu.file});
+      } else if (node.directive.kind == Kind::kWait) {
+        waits.emplace(node.directive.wait_tag,
+                      TagSite{node.directive.line, tu.file});
+      }
     }
   }
-  for (const auto& [tag, line] : waits) {
+  const std::string scope =
+      linked ? "anywhere in the linked program" : "in this translation unit";
+  for (const auto& [tag, site] : waits) {
     if (producers.count(tag) != 0) continue;
-    out.push_back({"W1", Severity::kWarning, line,
-                   "wait(" + tag + ") has no name_as(" + tag +
-                       ") producer in this translation unit — the wait "
-                       "completes immediately"});
+    out.push_back({"W1", Severity::kWarning, site.line,
+                   "wait(" + tag + ") has no name_as(" + tag + ") producer " +
+                       scope + " — the wait completes immediately",
+                   site.file});
   }
-  for (const auto& [tag, line] : producers) {
+  for (const auto& [tag, site] : producers) {
     if (waits.count(tag) != 0) continue;
-    out.push_back({"W1", Severity::kWarning, line,
+    out.push_back({"W1", Severity::kWarning, site.line,
                    "name_as tag '" + tag + "' is never joined by wait(" + tag +
-                       ") — the tagged blocks complete unobserved"});
+                       ") — the tagged blocks complete unobserved",
+                   site.file});
   }
 }
 
@@ -452,8 +580,8 @@ bool same_function(const compiler::SourceScanner& scanner, std::size_t a,
 }
 
 void check_data_races(const DirectiveGraph& graph,
+                      const std::vector<RegionAccesses>& regions,
                       std::vector<Diagnostic>& out) {
-  const std::vector<RegionAccesses> regions = analyze_captures(graph);
   if (regions.size() < 2) return;
   const auto& nodes = graph.nodes();
   const MhpRelation mhp(graph);
@@ -524,6 +652,380 @@ void check_data_races(const DirectiveGraph& graph,
   for (auto& [key, diag] : reports) out.push_back(std::move(diag));
 }
 
+/// Indirect-write augmentation for the race rules: a call inside a region
+/// that passes an already-captured variable to a by-ref parameter of a
+/// known function may mutate it on the region's thread. The access is
+/// indirect, so it can only ever contribute W3-grade findings.
+void augment_indirect_accesses(
+    Tu& tu, const std::map<std::string, std::vector<bool>>& byref_params) {
+  const auto& nodes = tu.graph->nodes();
+  for (const AttributedCall& call : tu.cg->calls()) {
+    const auto params = byref_params.find(call.site.callee);
+    if (params == byref_params.end()) continue;
+    int region_index = -1;
+    std::size_t innermost = 0;
+    for (std::size_t r = 0; r < tu.captures.size(); ++r) {
+      const RegionNode& node =
+          nodes[static_cast<std::size_t>(tu.captures[r].node)];
+      if (node.block_begin <= call.site.pos &&
+          call.site.pos < node.block_end &&
+          (region_index < 0 || node.block_begin > innermost)) {
+        region_index = static_cast<int>(r);
+        innermost = node.block_begin;
+      }
+    }
+    if (region_index < 0) continue;
+    RegionAccesses& region = tu.captures[static_cast<std::size_t>(region_index)];
+    const std::size_t argc =
+        std::min(params->second.size(), call.site.args.size());
+    for (std::size_t p = 0; p < argc; ++p) {
+      if (!params->second[p]) continue;
+      const std::string var = bare_identifier_arg(call.site.args[p]);
+      if (var.empty()) continue;
+      // Only variables the capture pass already deemed captured (not
+      // region-local, not firstprivate) can race through the callee.
+      const bool captured =
+          std::any_of(region.accesses.begin(), region.accesses.end(),
+                      [&](const VarAccess& a) { return a.name == var; });
+      if (!captured) continue;
+      VarAccess access;
+      access.name = var;
+      access.pos = call.site.pos;
+      access.line = call.site.line;
+      access.write = true;
+      access.direct = false;
+      access.conditional = call.conditional;
+      region.accesses.push_back(std::move(access));
+    }
+  }
+}
+
+// --- E5 / W4: captured storage dying before an unjoined async dispatch ---
+
+/// Tokens after which an identifier is an expression operand, not a
+/// declared name (`return total;` does not declare `total`).
+bool non_declaring_intro(std::string_view token) {
+  static const std::unordered_set<std::string_view> kSet = {
+      "return",   "throw",    "case",      "goto",     "new",  "delete",
+      "sizeof",   "co_await", "co_return", "co_yield", "else", "do",
+      "typeid",   "operator",
+  };
+  return kSet.count(token) != 0;
+}
+
+/// Byte offset of the last plausible declaration of `name` in [from, to),
+/// or npos. Token-level heuristic mirroring capture_analysis: the name is
+/// declared when preceded by a type-ish token (`int total`), a `&`/`*`
+/// declarator after a type token (`const auto& feed`), or a closed
+/// template argument list (`std::vector<int> v`).
+std::size_t find_declaration(const compiler::SourceScanner& scanner,
+                             std::size_t from, std::size_t to,
+                             const std::string& name) {
+  const auto src = scanner.source();
+  to = std::min(to, src.size());
+  std::size_t found = std::string_view::npos;
+  for (std::size_t i = from; i + name.size() <= to; ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src.compare(i, name.size(), name) != 0) continue;
+    if (i > 0 && scanner.at(i - 1) == compiler::CharClass::kCode &&
+        is_ident_char(src[i - 1])) {
+      continue;
+    }
+    const std::size_t after = i + name.size();
+    if (after < src.size() && scanner.at(after) == compiler::CharClass::kCode &&
+        is_ident_char(src[after])) {
+      continue;
+    }
+    // Previous non-whitespace code character decides declaration-ness.
+    std::size_t p = i;
+    std::size_t prev = std::string_view::npos;
+    while (p > from) {
+      --p;
+      if (scanner.at(p) != compiler::CharClass::kCode) continue;
+      if (std::isspace(static_cast<unsigned char>(src[p])) != 0) continue;
+      prev = p;
+      break;
+    }
+    if (prev == std::string_view::npos) continue;
+    const char prevc = src[prev];
+    bool decl = false;
+    if (is_ident_char(prevc)) {
+      std::size_t begin = prev;
+      while (begin > from && is_ident_char(src[begin - 1])) --begin;
+      const std::string_view intro = src.substr(begin, prev - begin + 1);
+      decl = !non_declaring_intro(intro) &&
+             std::isdigit(static_cast<unsigned char>(intro.front())) == 0;
+    } else if (prevc == '&' || prevc == '*') {
+      // `int& r` / `int* p`; require a type token right before the
+      // declarator run so `a & b` / `a * b` stay expressions.
+      std::size_t run = prev;
+      while (run > from && (src[run - 1] == '&' || src[run - 1] == '*')) --run;
+      decl = run > from &&
+             (is_ident_char(src[run - 1]) || src[run - 1] == '>');
+    } else if (prevc == '>') {
+      // Template close directly after the argument (`std::vector<int> v`),
+      // not a comparison (`v > w name` has whitespace before '>').
+      decl = prev > from &&
+             (is_ident_char(src[prev - 1]) || src[prev - 1] == '>' ||
+              src[prev - 1] == '*' || src[prev - 1] == '&');
+    }
+    if (decl) found = i;
+  }
+  return found;
+}
+
+struct DeclScope {
+  std::size_t open = 0;   ///< the scope's '{'
+  std::size_t close = 0;  ///< one past the matching '}'
+  bool frame = false;     ///< the function body itself
+};
+
+/// Innermost brace scope of `fn`'s body holding a declaration at `pos`.
+DeclScope scope_of_declaration(const compiler::SourceScanner& scanner,
+                               const compiler::FunctionDef& fn,
+                               std::size_t pos) {
+  const auto src = scanner.source();
+  std::vector<std::size_t> stack;
+  for (std::size_t i = fn.body_begin; i < pos && i < src.size(); ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src[i] == '{') stack.push_back(i);
+    if (src[i] == '}' && !stack.empty()) stack.pop_back();
+  }
+  if (stack.size() <= 1) return {fn.body_begin, fn.body_end, true};
+  const std::size_t open = stack.back();
+  int depth = 0;
+  for (std::size_t i = open; i < fn.body_end && i < src.size(); ++i) {
+    if (scanner.at(i) != compiler::CharClass::kCode) continue;
+    if (src[i] == '{') ++depth;
+    if (src[i] == '}' && --depth == 0) return {open, i + 1, false};
+  }
+  return {fn.body_begin, fn.body_end, true};
+}
+
+/// One variable escaping by reference into an asynchronous dispatch,
+/// either captured directly by a region of this function or passed to a
+/// callee whose summary records a parameter escape.
+struct EscapeEvent {
+  std::string var;
+  std::size_t pos = 0;  ///< anchor: directive marker or call site
+  int line = 0;
+  Async mode = Async::kNowait;
+  std::string tag;
+  std::string target;
+  bool conditional = false;
+  std::vector<CallFrame> path;  ///< empty for a direct capture
+  std::string dispatch_file;
+  int dispatch_line = 0;
+};
+
+/// A join between `from` and `to` inside function `fn` that fences the
+/// escaping dispatch: wait(tag) for name_as, or a blocking/await dispatch
+/// to the same target (the serial executor drains its FIFO first). Joins
+/// reached through calls count via the callee summaries.
+bool joined_in_range(const Tu& tu, const SummaryTable& table, int fn,
+                     const EscapeEvent& event, std::size_t from,
+                     std::size_t to) {
+  for (const RegionNode& node : tu.graph->nodes()) {
+    if (node.directive_begin <= from || node.directive_begin >= to) continue;
+    if (tu.cg->function_at(node.directive_begin) != fn) continue;
+    if (event.mode == Async::kNameAs && node.directive.kind == Kind::kWait &&
+        node.directive.wait_tag == event.tag) {
+      return true;
+    }
+    if (node.directive.kind == Kind::kTarget &&
+        (node.directive.mode == Async::kDefault ||
+         node.directive.mode == Async::kAwait) &&
+        node.directive.target_name() == event.target) {
+      return true;
+    }
+  }
+  for (const AttributedCall& call : tu.cg->calls()) {
+    if (call.site.pos <= from || call.site.pos >= to) continue;
+    if (call.caller != fn) continue;
+    const FunctionSummary* summary = table.summary(call.site.callee);
+    if (summary == nullptr) continue;
+    if (event.mode == Async::kNameAs) {
+      for (const SummaryWait& w : summary->waits) {
+        if (w.tag == event.tag) return true;
+      }
+    }
+    for (const SummaryDispatch& d : summary->dispatches) {
+      if ((d.mode == Async::kDefault || d.mode == Async::kAwait) &&
+          d.target == event.target) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void check_capture_lifetimes(const Tu& tu, const SummaryTable& table,
+                             std::vector<Diagnostic>& out) {
+  const compiler::SourceScanner& scanner = tu.graph->scanner();
+  const auto& nodes = tu.graph->nodes();
+  const auto& functions = tu.cg->functions();
+  const std::vector<Loop> loops = find_loops(scanner);
+  std::set<std::pair<int, std::string>> reported;
+
+  for (int f = 0; f < static_cast<int>(functions.size()); ++f) {
+    const compiler::FunctionDef& fn = functions[static_cast<std::size_t>(f)];
+    std::vector<EscapeEvent> events;
+
+    // Direct captures of this function's asynchronous regions.
+    for (const int node_index : tu.cg->regions_of(f)) {
+      const RegionNode& node = nodes[static_cast<std::size_t>(node_index)];
+      const Directive& d = node.directive;
+      if (d.kind != Kind::kTarget) continue;
+      if (d.mode != Async::kNowait && d.mode != Async::kNameAs) continue;
+      if (d.default_none) continue;
+      const bool dispatch_conditional =
+          tu.cg->conditional_at(node.directive_begin);
+      std::map<std::string, bool> vars;  // name -> has unconditional access
+      for (const RegionAccesses& region : tu.captures) {
+        if (region.node != node_index) continue;
+        for (const VarAccess& access : region.accesses) {
+          auto [it, inserted] = vars.emplace(access.name, !access.conditional);
+          if (!inserted && !access.conditional) it->second = true;
+        }
+      }
+      for (const auto& [var, unconditional] : vars) {
+        EscapeEvent event;
+        event.var = var;
+        event.pos = node.directive_begin;
+        event.line = d.line;
+        event.mode = d.mode;
+        event.tag = d.name_tag;
+        event.target = d.target_name();
+        event.conditional = dispatch_conditional || !unconditional;
+        event.dispatch_file = tu.file;
+        event.dispatch_line = d.line;
+        events.push_back(std::move(event));
+      }
+    }
+
+    // Arguments escaping by reference through callee dispatches.
+    for (const AttributedCall& call : tu.cg->calls()) {
+      if (call.caller != f) continue;
+      const FunctionSummary* summary = table.summary(call.site.callee);
+      if (summary == nullptr) continue;
+      for (const ParamEscape& escape : summary->param_escapes) {
+        if (escape.param >= call.site.args.size()) continue;
+        const std::string var =
+            bare_identifier_arg(call.site.args[escape.param]);
+        if (var.empty()) continue;
+        EscapeEvent event;
+        event.var = var;
+        event.pos = call.site.pos;
+        event.line = call.site.line;
+        event.mode = escape.mode;
+        event.tag = escape.tag;
+        event.target = escape.target;
+        event.conditional = call.conditional || escape.conditional;
+        event.path.push_back({call.site.callee, tu.file, call.site.line});
+        event.path.insert(event.path.end(), escape.path.begin(),
+                          escape.path.end());
+        event.dispatch_file = escape.file;
+        event.dispatch_line = escape.line;
+        events.push_back(std::move(event));
+      }
+    }
+
+    for (const EscapeEvent& event : events) {
+      // Parameters: a by-ref parameter is the caller's storage (reported
+      // at the caller's call site through the escape summary); a by-value
+      // parameter lives in this frame.
+      bool is_param = false;
+      bool byref_param = false;
+      for (const compiler::FunctionParam& param : fn.params) {
+        if (param.name == event.var) {
+          is_param = true;
+          byref_param = param.by_ref;
+        }
+      }
+      if (byref_param) continue;
+      bool frame = is_param;
+      std::size_t scope_limit = fn.body_end;
+      std::size_t scope_close_pos = fn.body_end;
+      if (!is_param) {
+        const std::size_t decl = find_declaration(
+            scanner, fn.body_begin + 1, event.pos, event.var);
+        if (decl == std::string_view::npos) continue;  // outer/global/member
+        const DeclScope scope = scope_of_declaration(scanner, fn, decl);
+        frame = scope.frame;
+        scope_limit = scope.close;
+        scope_close_pos = scope.close == 0 ? 0 : scope.close - 1;
+        if (!frame && event.pos >= scope.close) continue;  // shadowed name
+      }
+      // Loop control variables are W2's domain.
+      bool loop_var = false;
+      for (const Loop& loop : loops) {
+        if (loop.var == event.var && event.pos >= loop.body_begin &&
+            event.pos < loop.body_end) {
+          loop_var = true;
+        }
+      }
+      if (loop_var) continue;
+      if (joined_in_range(tu, table, f, event, event.pos,
+                          frame ? fn.body_end : scope_limit)) {
+        continue;
+      }
+      const CallFrame* caller = table.first_caller(fn.name);
+      if (frame && caller == nullptr) continue;  // analysis horizon: the
+                                                 // frame may well be main's
+      if (!reported.emplace(event.line, event.var).second) continue;
+
+      const std::string mode_text = event.mode == Async::kNameAs
+                                        ? "name_as(" + event.tag + ")"
+                                        : "nowait";
+      std::string how;
+      if (event.path.empty()) {
+        how = "is captured by reference by the " + mode_text +
+              " dispatch to '" + event.target + "'";
+      } else {
+        how = "escapes by reference into the " + mode_text +
+              " dispatch to '" + event.target + "' through " +
+              render_call_path(fn.name, event.path) + " (dispatch at " +
+              loc_of(event.dispatch_file, event.dispatch_line) + ")";
+      }
+      std::string doom;
+      if (frame) {
+        doom = "the frame of '" + fn.name +
+               "' is torn down when it returns (called from " +
+               loc_of(caller->file, caller->line) + ")";
+      } else {
+        doom = "its storage dies at the end of the enclosing block (line " +
+               std::to_string(scanner.line_of(scope_close_pos)) + ")";
+      }
+      const std::string join =
+          event.mode == Async::kNameAs
+              ? "join with wait(" + event.tag +
+                    ") or a blocking dispatch to '" + event.target +
+                    "' while the storage is live"
+              : "join with a blocking or await dispatch to '" + event.target +
+                    "' while the storage is live";
+      const std::string privatize =
+          event.path.empty()
+              ? "capture it by value with firstprivate(" + event.var + ")"
+              : "pass it by value";
+      const bool definite = !event.conditional;
+      std::string message =
+          std::string(definite ? "use after scope: variable '"
+                               : "possible use after scope: variable '") +
+          event.var + "' " + how + " but " + doom +
+          " while the dispatch may still be pending — " + join + ", or " +
+          privatize;
+      if (!definite) {
+        message +=
+            " [conditional dispatch or access — the escape may not occur on "
+            "every execution]";
+      }
+      out.push_back({definite ? "E5" : "W4",
+                     definite ? Severity::kError : Severity::kWarning,
+                     event.line, std::move(message)});
+    }
+  }
+}
+
 // --- evmp-lint-ignore suppression comments --------------------------------
 
 std::map<int, std::set<std::string>> collect_ignores(
@@ -558,11 +1060,15 @@ std::map<int, std::set<std::string>> collect_ignores(
   return out;
 }
 
+/// Drop suppressed findings anchored in the TU that `scanner`/`file`
+/// describe; findings of other TUs are left for their own pass.
 void filter_ignored(std::vector<Diagnostic>& diags,
-                    const compiler::SourceScanner& scanner) {
+                    const compiler::SourceScanner& scanner,
+                    const std::string& file) {
   const std::map<int, std::set<std::string>> ignores = collect_ignores(scanner);
   if (ignores.empty()) return;
   std::erase_if(diags, [&](const Diagnostic& d) {
+    if (d.file != file) return false;
     for (const int line : {d.line, d.line - 1}) {
       const auto it = ignores.find(line);
       if (it != ignores.end() &&
@@ -574,19 +1080,83 @@ void filter_ignored(std::vector<Diagnostic>& diags,
   });
 }
 
+// --- driver ---------------------------------------------------------------
+
+std::vector<Diagnostic> analyze_linked(std::vector<Tu>& tus,
+                                       const AnalyzeOptions& options,
+                                       bool linked) {
+  for (Tu& tu : tus) {
+    tu.cg = std::make_unique<CallGraph>(*tu.graph);
+    tu.captures = analyze_captures(*tu.graph);
+  }
+  std::vector<TuView> views;
+  views.reserve(tus.size());
+  for (const Tu& tu : tus) {
+    views.push_back({tu.cg.get(), &tu.captures, tu.file});
+  }
+  const SummaryTable table(views);
+
+  // Whole-program by-ref parameter shapes (first definition wins), for the
+  // indirect-write augmentation of the race rules.
+  std::map<std::string, std::vector<bool>> byref_params;
+  for (const Tu& tu : tus) {
+    for (const compiler::FunctionDef& fn : tu.cg->functions()) {
+      std::vector<bool> shape;
+      shape.reserve(fn.params.size());
+      bool any = false;
+      for (const compiler::FunctionParam& param : fn.params) {
+        const bool by_ref = param.by_ref && !param.name.empty();
+        shape.push_back(by_ref);
+        any = any || by_ref;
+      }
+      if (any) byref_params.try_emplace(fn.name, std::move(shape));
+    }
+  }
+  for (Tu& tu : tus) augment_indirect_accesses(tu, byref_params);
+
+  std::vector<Diagnostic> out;
+  for (Tu& tu : tus) {
+    std::vector<Diagnostic> local;
+    check_blocking_context(*tu.graph, local);
+    check_call_blocking(tu, table, local);
+    check_loop_captures(*tu.graph, local);
+    check_data_races(*tu.graph, tu.captures, local);
+    check_capture_lifetimes(tu, table, local);
+    for (Diagnostic& d : local) {
+      if (d.file.empty()) d.file = tu.file;
+      out.push_back(std::move(d));
+    }
+  }
+  check_tag_pairing(tus, linked, out);
+  check_blocking_cycles(blocking_edges(tus, table), out);
+
+  if (options.honor_ignores) {
+    for (const Tu& tu : tus) {
+      filter_ignored(out, tu.graph->scanner(), tu.file);
+    }
+  }
+  sort_diagnostics(out);
+  return out;
+}
+
+Diagnostic parse_failure(const compiler::TranslateError& e,
+                         const std::string& file) {
+  // Strip the "line N: " prefix the exception bakes into what(); the
+  // diagnostic carries the line separately.
+  std::string message = e.what();
+  const std::string prefix = "line " + std::to_string(e.line()) + ": ";
+  if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
+  return {"P1", Severity::kError, e.line(),
+          "directive does not parse: " + message, file};
+}
+
 }  // namespace
 
 std::vector<Diagnostic> analyze(const DirectiveGraph& graph,
                                 const AnalyzeOptions& options) {
-  std::vector<Diagnostic> out;
-  check_blocking_context(graph, out);
-  check_blocking_cycles(graph, out);
-  check_tag_pairing(graph, out);
-  check_loop_captures(graph, out);
-  check_data_races(graph, out);
-  if (options.honor_ignores) filter_ignored(out, graph.scanner());
-  sort_diagnostics(out);
-  return out;
+  std::vector<Tu> tus(1);
+  tus.front().graph = &graph;
+  return analyze_linked(tus, options, /*linked=*/false);
 }
 
 std::vector<Diagnostic> analyze_source(std::string_view source,
@@ -595,21 +1165,47 @@ std::vector<Diagnostic> analyze_source(std::string_view source,
     const DirectiveGraph graph(source);
     return analyze(graph, options);
   } catch (const compiler::TranslateError& e) {
-    // Strip the "line N: " prefix the exception bakes into what(); the
-    // diagnostic carries the line separately.
-    std::string message = e.what();
-    const std::string prefix = "line " + std::to_string(e.line()) + ": ";
-    if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
-    std::vector<Diagnostic> diags{{"P1", Severity::kError, e.line(),
-                                   "directive does not parse: " + message}};
+    std::vector<Diagnostic> diags{parse_failure(e, {})};
     if (options.honor_ignores) {
       // The scan-only classifier never throws, so suppression comments
       // still apply to parse failures.
       const compiler::SourceScanner scanner(source);
-      filter_ignored(diags, scanner);
+      filter_ignored(diags, scanner, {});
     }
     return diags;
   }
+}
+
+std::vector<Diagnostic> analyze_program(const std::vector<SourceUnit>& units,
+                                        const AnalyzeOptions& options) {
+  std::vector<Diagnostic> out;
+  std::vector<Tu> tus;
+  tus.reserve(units.size());
+  for (const SourceUnit& unit : units) {
+    try {
+      Tu tu;
+      tu.file = unit.file;
+      tu.owned = std::make_unique<DirectiveGraph>(unit.text);
+      tu.graph = tu.owned.get();
+      tus.push_back(std::move(tu));
+    } catch (const compiler::TranslateError& e) {
+      // The unit cannot be linked; report it and analyze the rest.
+      std::vector<Diagnostic> diags{parse_failure(e, unit.file)};
+      if (options.honor_ignores) {
+        const compiler::SourceScanner scanner(unit.text);
+        filter_ignored(diags, scanner, unit.file);
+      }
+      out.insert(out.end(), diags.begin(), diags.end());
+    }
+  }
+  if (!tus.empty()) {
+    std::vector<Diagnostic> linked =
+        analyze_linked(tus, options, /*linked=*/units.size() > 1);
+    out.insert(out.end(), std::make_move_iterator(linked.begin()),
+               std::make_move_iterator(linked.end()));
+  }
+  sort_diagnostics(out);
+  return out;
 }
 
 }  // namespace evmp::analysis

@@ -1,7 +1,12 @@
 #pragma once
-// The evmpcc directive lint: rule passes over a DirectiveGraph.
+// The evmpcc directive lint: rule passes over a DirectiveGraph, made
+// interprocedural (and whole-program, for multi-TU invocations) by the
+// call graph and per-function effect summaries of DESIGN.md §12: every
+// blocking/waiting rule also fires when the offending dispatch is reached
+// through a chain of ordinary function calls, with the call path named in
+// the message.
 //
-// Rules (see DESIGN.md §8 and §10):
+// Rules (see DESIGN.md §8, §10 and §12):
 //   E1 (error)   blocking default-mode dispatch to a virtual target from a
 //                region already running on that same target — the busy
 //                serial executor deadlocks on itself; the thread-context
@@ -17,8 +22,17 @@
 //                the two regions may happen in parallel (MHP — no
 //                containment, blocking-dispatch, or wait(tag) ordering),
 //                and both accesses are unconditional and direct.
-//   W1 (warning) wait(tag) with no name_as(tag) producer in the TU, and
-//                name_as tags never joined by a wait.
+//   E5 (error)   use after scope: a variable captured by reference by an
+//                asynchronous (nowait/name_as) dispatch — directly, or by
+//                escaping through a callee's by-ref parameter — whose
+//                storage (inner block, or the function frame when the
+//                function is known to be called) definitely dies with no
+//                join (wait(tag) or a blocking/await dispatch to the same
+//                target, which fences the serial executor's FIFO) between
+//                the dispatch and the end of the scope.
+//   W1 (warning) wait(tag) with no name_as(tag) producer in the TU (or,
+//                multi-TU, anywhere in the linked program), and name_as
+//                tags never joined by a wait.
 //   W2 (warning) heuristic: an async (nowait/name_as) region captures the
 //                surrounding loop's control variable by reference — the
 //                region may outlive the iteration; suggest firstprivate.
@@ -26,6 +40,9 @@
 //                is conditional or pointer/element/member-mediated, so
 //                the conflict may not materialize. EVMP_RACECHECK
 //                (race_check.hpp) confirms these at runtime.
+//   W4 (warning) heuristic use after scope: same as E5 but the dispatch
+//                or the capturing access sits under control flow, so the
+//                escape may not occur on every execution.
 //   P1 (error)   a directive the parser rejects (duplicate clauses,
 //                unknown clauses, malformed arguments).
 //
@@ -38,6 +55,7 @@
 // `evmp-lint-ignore` or `evmp-lint-ignore(*)` suppresses every rule.
 // `--no-ignores` (AnalyzeOptions::honor_ignores = false) audits past them.
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -62,5 +80,20 @@ struct AnalyzeOptions {
 /// build becomes a single P1 error diagnostic instead of propagating.
 [[nodiscard]] std::vector<Diagnostic> analyze_source(
     std::string_view source, const AnalyzeOptions& options = {});
+
+/// One translation unit of a multi-TU (whole-program) analysis.
+struct SourceUnit {
+  std::string file;  ///< display name; stamped into each finding
+  std::string text;
+};
+
+/// Link every unit into one program — virtual-target names and name_as/
+/// wait tags resolve across files, the call graph and effect summaries
+/// span all units — and run every rule pass over the linked view. A unit
+/// whose directives do not parse contributes a P1 finding and is excluded
+/// from linking; the remaining units are still analyzed. Suppression
+/// comments are honored per unit.
+[[nodiscard]] std::vector<Diagnostic> analyze_program(
+    const std::vector<SourceUnit>& units, const AnalyzeOptions& options = {});
 
 }  // namespace evmp::analysis

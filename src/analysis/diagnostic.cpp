@@ -56,6 +56,7 @@ DiagnosticCounts count(const std::vector<Diagnostic>& diags) {
 void sort_diagnostics(std::vector<Diagnostic>& diags) {
   std::stable_sort(diags.begin(), diags.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
                      if (a.line != b.line) return a.line < b.line;
                      return a.rule < b.rule;
                    });
@@ -65,8 +66,9 @@ std::string render_text(const std::vector<Diagnostic>& diags,
                         std::string_view file) {
   std::ostringstream out;
   for (const Diagnostic& d : diags) {
-    out << file << ":" << d.line << ": " << to_string(d.severity) << "["
-        << d.rule << "]: " << d.message << "\n";
+    out << (d.file.empty() ? file : std::string_view(d.file)) << ":" << d.line
+        << ": " << to_string(d.severity) << "[" << d.rule
+        << "]: " << d.message << "\n";
   }
   return out.str();
 }
@@ -82,12 +84,93 @@ std::string render_json(const std::vector<Diagnostic>& diags,
     out << (first ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
         << "\", \"severity\": \"" << to_string(d.severity)
         << "\", \"line\": " << d.line << ", \"message\": \""
-        << json_escape(d.message) << "\"}";
+        << json_escape(d.message) << "\"";
+    if (!d.file.empty()) out << ", \"file\": \"" << json_escape(d.file) << "\"";
+    out << "}";
     first = false;
   }
   if (!first) out << "\n  ";
   out << "],\n  \"errors\": " << counts.errors
       << ",\n  \"warnings\": " << counts.warnings << "\n}\n";
+  return out.str();
+}
+
+namespace {
+
+/// One-line rule summaries for the SARIF rule metadata.
+const char* rule_description(std::string_view rule) {
+  if (rule == "E1") return "Blocking dispatch to the executor already running the region (self-deadlock)";
+  if (rule == "E2") return "Blocking dispatch from the event-dispatch thread (EDT freeze)";
+  if (rule == "E3") return "Cyclic blocking chain between virtual targets";
+  if (rule == "E4") return "Data race between concurrent target regions on a by-reference capture";
+  if (rule == "E5") return "Use after scope: a by-reference capture outlives its storage across an unjoined asynchronous dispatch";
+  if (rule == "W1") return "wait(tag) with no name_as(tag) producer, or a name_as tag never joined";
+  if (rule == "W2") return "Loop control variable captured by reference in an asynchronous region";
+  if (rule == "W3") return "Possible data race (conditional or indirect access)";
+  if (rule == "W4") return "Possible use after scope (conditional dispatch or access)";
+  if (rule == "P1") return "Directive does not parse";
+  return "EventMP directive lint finding";
+}
+
+}  // namespace
+
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         std::string_view file) {
+  // Rule metadata: every distinct rule id present, in sorted order, with a
+  // stable index the results reference.
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : diags) {
+    if (std::find(rules.begin(), rules.end(), d.rule) == rules.end()) {
+      rules.push_back(d.rule);
+    }
+  }
+  std::sort(rules.begin(), rules.end());
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"evmpcc\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/eventmp/eventmp\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n            {\"id\": \""
+        << json_escape(rules[i]) << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule_description(rules[i])) << "\"}}";
+  }
+  if (!rules.empty()) out << "\n          ";
+  out << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    const std::size_t rule_index = static_cast<std::size_t>(
+        std::find(rules.begin(), rules.end(), d.rule) - rules.begin());
+    const std::string_view uri = d.file.empty() ? file : d.file;
+    out << (first ? "" : ",") << "\n        {\n"
+        << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n"
+        << "          \"ruleIndex\": " << rule_index << ",\n"
+        << "          \"level\": \"" << to_string(d.severity) << "\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(uri) << "\"}, \"region\": {\"startLine\": "
+        << (d.line > 0 ? d.line : 1) << "}}}]\n"
+        << "        }";
+    first = false;
+  }
+  if (!first) out << "\n      ";
+  out << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
   return out.str();
 }
 

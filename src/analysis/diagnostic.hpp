@@ -1,12 +1,13 @@
 #pragma once
 // Diagnostic model for the evmpcc static analyzer (`--analyze`).
 //
-// A Diagnostic is one finding of the directive lint: a rule id (E1..E4
-// errors, W1..W3 warnings, P1 for unparseable directives), a severity, the
+// A Diagnostic is one finding of the directive lint: a rule id (E1..E5
+// errors, W1..W4 warnings, P1 for unparseable directives), a severity, the
 // 1-based source line (via SourceScanner::line_of) and a human-readable
-// message. Renderers produce the two CLI output formats: compiler-style
-// `file:line: severity[RULE]: message` text and a stable JSON schema for
-// CI tooling.
+// message. Multi-TU invocations additionally stamp the file the finding is
+// anchored in. Renderers produce the three CLI output formats:
+// compiler-style `file:line: severity[RULE]: message` text, a stable JSON
+// schema for CI tooling, and SARIF 2.1.0 for code-scanning uploads.
 
 #include <string>
 #include <string_view>
@@ -20,10 +21,12 @@ enum class Severity : unsigned char { kWarning, kError };
 
 /// One analyzer finding, anchored to a source line.
 struct Diagnostic {
-  std::string rule;  ///< "E1".."E4", "W1".."W3", "P1"
+  std::string rule;  ///< "E1".."E5", "W1".."W4", "P1"
   Severity severity = Severity::kWarning;
   int line = 0;  ///< 1-based; 0 when the finding has no line anchor
   std::string message;
+  std::string file{};  ///< anchoring TU; empty in single-TU mode (the
+                       ///< renderers then fall back to their `file` argument)
 };
 
 struct DiagnosticCounts {
@@ -33,7 +36,7 @@ struct DiagnosticCounts {
 
 [[nodiscard]] DiagnosticCounts count(const std::vector<Diagnostic>& diags);
 
-/// Stable ordering for output: by line, then rule id.
+/// Stable ordering for output: by file, then line, then rule id.
 void sort_diagnostics(std::vector<Diagnostic>& diags);
 
 /// Compiler-style text, one finding per line:
@@ -44,7 +47,13 @@ void sort_diagnostics(std::vector<Diagnostic>& diags);
 /// JSON object:
 ///   {"file": "...", "diagnostics": [{"rule": "E1", "severity": "error",
 ///    "line": 7, "message": "..."}], "errors": N, "warnings": M}
+/// Findings anchored in another TU carry an extra per-entry "file" key.
 [[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags,
                                       std::string_view file);
+
+/// SARIF 2.1.0 log (one run, tool driver "evmpcc") for code-scanning
+/// ingestion. `file` is the artifact URI for findings without their own.
+[[nodiscard]] std::string render_sarif(const std::vector<Diagnostic>& diags,
+                                       std::string_view file);
 
 }  // namespace evmp::analysis

@@ -1,0 +1,40 @@
+#include "analysis/dispatch_site.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace evmp::analysis {
+
+namespace {
+
+// Fixed-depth per-thread stack: push/pop never allocate, so annotated
+// dispatch sites cost two thread-local stores even in tight loops.
+constexpr std::size_t kMaxFrames = 16;
+thread_local const char* t_frames[kMaxFrames];
+thread_local std::size_t t_depth = 0;
+
+}  // namespace
+
+void push_dispatch_site(const char* frame) noexcept {
+  if (t_depth < kMaxFrames) t_frames[t_depth] = frame;
+  ++t_depth;
+}
+
+void pop_dispatch_site() noexcept {
+  if (t_depth > 0) --t_depth;
+}
+
+bool has_dispatch_site() noexcept { return t_depth > 0; }
+
+std::string dispatch_site_path() {
+  std::string out;
+  const std::size_t stored = std::min(t_depth, kMaxFrames);
+  for (std::size_t i = 0; i < stored; ++i) {
+    if (!out.empty()) out += " -> ";
+    out += t_frames[i];
+  }
+  if (t_depth > kMaxFrames) out += " -> ...";
+  return out;
+}
+
+}  // namespace evmp::analysis

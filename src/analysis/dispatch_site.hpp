@@ -1,0 +1,46 @@
+#pragma once
+// Dispatch-site frames for the runtime verifiers.
+//
+// `evmpcc --annotate-sites` wraps every translated dispatch in a
+// ScopedDispatchSite naming the enclosing function (the same frame names
+// the static analyzer's interprocedural call paths use, via the shared
+// compilerlib function scanner). The EVMP_VERIFY wait-for-graph and the
+// EVMP_RACECHECK vector-clock verifier sample dispatch_site_path() when
+// they record an edge or a task birth, so their reports carry the source
+// call chain that performed the dispatch — "worker [via main -> submit]"
+// instead of an anonymous executor name.
+//
+// The stack is per-thread and allocation-free on the push/pop path: a
+// fixed array of string-literal pointers. Frames beyond the depth cap are
+// counted but not stored ("... " suffix in the rendered path). With no
+// annotation (the default translation) the stack stays empty and every
+// query is a thread-local load.
+
+#include <string>
+
+namespace evmp::analysis {
+
+/// Push a frame name (must outlive the scope — generated code passes a
+/// string literal). Balanced by pop_dispatch_site().
+void push_dispatch_site(const char* frame) noexcept;
+void pop_dispatch_site() noexcept;
+
+/// True when the calling thread has at least one frame pushed.
+[[nodiscard]] bool has_dispatch_site() noexcept;
+
+/// " -> "-joined frame names of the calling thread, outermost first;
+/// empty when no frame is pushed.
+[[nodiscard]] std::string dispatch_site_path();
+
+/// RAII frame around one translated dispatch.
+class ScopedDispatchSite {
+ public:
+  explicit ScopedDispatchSite(const char* frame) noexcept {
+    push_dispatch_site(frame);
+  }
+  ScopedDispatchSite(const ScopedDispatchSite&) = delete;
+  ScopedDispatchSite& operator=(const ScopedDispatchSite&) = delete;
+  ~ScopedDispatchSite() { pop_dispatch_site(); }
+};
+
+}  // namespace evmp::analysis

@@ -1,0 +1,313 @@
+#include "analysis/function_summary.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace evmp::analysis {
+
+namespace {
+
+using compiler::Directive;
+using Kind = Directive::Kind;
+
+constexpr std::size_t kMaxPathFrames = 8;
+
+/// Site key for effect deduplication during propagation.
+using SiteKey = std::tuple<int, std::string, std::string, int>;
+
+SiteKey key_of(const SummaryDispatch& d) {
+  return {0, d.file, d.target + "\x1f" + d.tag, d.line};
+}
+SiteKey key_of(const SummaryWait& w) { return {1, w.file, w.tag, w.line}; }
+SiteKey key_of(const ParamEscape& p) {
+  return {2, p.file, p.param_name + "\x1f" + std::to_string(p.param), p.line};
+}
+
+template <typename Effect>
+void merge_effect(std::vector<Effect>& into, std::set<SiteKey>& seen,
+                  Effect effect) {
+  if (!seen.insert(key_of(effect)).second) return;
+  into.push_back(std::move(effect));
+}
+
+std::vector<CallFrame> prepend_frame(const CallFrame& frame,
+                                     const std::vector<CallFrame>& path) {
+  std::vector<CallFrame> out;
+  out.reserve(std::min(path.size() + 1, kMaxPathFrames));
+  out.push_back(frame);
+  for (const CallFrame& f : path) {
+    if (out.size() >= kMaxPathFrames) break;
+    out.push_back(f);
+  }
+  return out;
+}
+
+bool region_accesses_var(const std::vector<RegionAccesses>& captures, int node,
+                         const std::string& name) {
+  for (const RegionAccesses& region : captures) {
+    if (region.node != node) continue;
+    for (const VarAccess& access : region.accesses) {
+      if (access.name == name) return true;
+    }
+  }
+  return false;
+}
+
+struct DefRef {
+  std::size_t tu = 0;
+  int fn = -1;
+};
+
+struct ResolvedCall {
+  std::string caller;  ///< empty at file scope
+  std::string callee;
+  CallFrame frame;     ///< callee + call-site location
+  bool conditional = false;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+std::string bare_identifier_arg(std::string_view arg) {
+  std::size_t b = 0;
+  if (b < arg.size() && arg[b] == '&') ++b;  // address-of still aliases
+  std::size_t e = arg.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(arg[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(arg[e - 1])) != 0) {
+    --e;
+  }
+  if (b == e) return {};
+  if (std::isdigit(static_cast<unsigned char>(arg[b])) != 0) return {};
+  for (std::size_t i = b; i < e; ++i) {
+    const char c = arg[i];
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return {};
+    }
+  }
+  return std::string(arg.substr(b, e - b));
+}
+
+std::string render_call_path(std::string_view entry,
+                             const std::vector<CallFrame>& path) {
+  std::string out(entry);
+  for (const CallFrame& f : path) {
+    out += " -> " + f.callee + " (";
+    if (f.file.empty()) {
+      out += "line " + std::to_string(f.line);
+    } else {
+      out += f.file + ":" + std::to_string(f.line);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+SummaryTable::SummaryTable(const std::vector<TuView>& tus) {
+  // 1. The whole-program function table: name -> definitions.
+  std::map<std::string, std::vector<DefRef>> defs;
+  for (std::size_t t = 0; t < tus.size(); ++t) {
+    const auto& functions = tus[t].cg->functions();
+    for (int f = 0; f < static_cast<int>(functions.size()); ++f) {
+      defs[functions[static_cast<std::size_t>(f)].name].push_back({t, f});
+    }
+  }
+
+  // 2. Direct effects of every definition, merged per name.
+  std::map<std::string, std::set<SiteKey>> seen;
+  for (const auto& [name, refs] : defs) {
+    FunctionSummary& summary = summaries_[name];
+    std::set<SiteKey>& keys = seen[name];
+    for (const DefRef& ref : refs) {
+      const TuView& tu = tus[ref.tu];
+      const CallGraph& cg = *tu.cg;
+      const auto& nodes = cg.graph().nodes();
+      const compiler::FunctionDef& def =
+          cg.functions()[static_cast<std::size_t>(ref.fn)];
+      for (const int node_index : cg.regions_of(ref.fn)) {
+        const RegionNode& node = nodes[static_cast<std::size_t>(node_index)];
+        const Directive& d = node.directive;
+        const bool conditional = cg.conditional_at(node.directive_begin);
+        if (d.kind == Kind::kWait) {
+          merge_effect(summary.waits, keys,
+                       SummaryWait{d.wait_tag, tu.file, d.line, {}});
+          continue;
+        }
+        if (d.kind != Kind::kTarget) continue;
+        merge_effect(summary.dispatches, keys,
+                     SummaryDispatch{d.target_name(), d.mode, d.name_tag,
+                                     tu.file, d.line, conditional, {}});
+        const bool async = d.mode == Async::kNowait || d.mode == Async::kNameAs;
+        if (!async || d.default_none || tu.captures == nullptr) continue;
+        for (std::size_t p = 0; p < def.params.size(); ++p) {
+          const compiler::FunctionParam& param = def.params[p];
+          if (!param.by_ref || param.name.empty()) continue;
+          if (std::find(d.firstprivate.begin(), d.firstprivate.end(),
+                        param.name) != d.firstprivate.end()) {
+            continue;
+          }
+          if (!region_accesses_var(*tu.captures, node_index, param.name)) {
+            continue;
+          }
+          merge_effect(summary.param_escapes, keys,
+                       ParamEscape{p, param.name, d.target_name(), d.mode,
+                                   d.name_tag, tu.file, d.line, conditional,
+                                   {}});
+        }
+      }
+    }
+  }
+
+  // 3. Resolved call edges and first-caller records. The by-ref
+  //    parameter index of each name (first definition wins) supports
+  //    pass-through escape lifting in step 5.
+  std::map<std::string, std::map<std::string, std::size_t>> byref_params;
+  for (const auto& [name, refs] : defs) {
+    const compiler::FunctionDef& def =
+        tus[refs.front().tu]
+            .cg->functions()[static_cast<std::size_t>(refs.front().fn)];
+    for (std::size_t p = 0; p < def.params.size(); ++p) {
+      if (def.params[p].by_ref && !def.params[p].name.empty()) {
+        byref_params[name].emplace(def.params[p].name, p);
+      }
+    }
+  }
+  std::vector<ResolvedCall> edges;
+  std::map<std::string, std::vector<std::size_t>> out_edges;
+  for (const TuView& tu : tus) {
+    for (const AttributedCall& call : tu.cg->calls()) {
+      if (summaries_.count(call.site.callee) == 0) continue;
+      ResolvedCall edge;
+      edge.callee = call.site.callee;
+      edge.frame = {call.site.callee, tu.file, call.site.line};
+      edge.conditional = call.conditional;
+      edge.args = call.site.args;
+      if (call.caller >= 0) {
+        edge.caller = tu.cg->functions()
+                          [static_cast<std::size_t>(call.caller)].name;
+      }
+      callers_.try_emplace(
+          edge.callee,
+          CallFrame{edge.caller.empty() ? "<file scope>" : edge.caller,
+                    tu.file, call.site.line});
+      if (!edge.caller.empty() && edge.caller != edge.callee) {
+        out_edges[edge.caller].push_back(edges.size());
+      }
+      edges.push_back(std::move(edge));
+    }
+  }
+
+  // 4. Tarjan SCCs over the name graph; emission order is callees-first,
+  //    so one pass joins each SCC with its already-final callees.
+  std::map<std::string, int> index;
+  std::map<std::string, int> low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  std::vector<std::vector<std::string>> sccs;
+  int counter = 0;
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        const auto it = out_edges.find(v);
+        if (it != out_edges.end()) {
+          for (const std::size_t e : it->second) {
+            const std::string& w = edges[e].callee;
+            if (index.count(w) == 0) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack.count(w) != 0) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          for (;;) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+      };
+  for (const auto& [name, summary] : summaries_) {
+    if (index.count(name) == 0) strongconnect(name);
+  }
+
+  // 5. Bottom-up join: lift each external callee's summary through the
+  //    call frame. Within an SCC the members share one joined summary
+  //    (mutual recursion: every member can reach every effect).
+  for (const std::vector<std::string>& scc : sccs) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    FunctionSummary joined;
+    std::set<SiteKey> keys;
+    for (const std::string& member : members) {
+      const FunctionSummary& direct = summaries_[member];
+      for (const SummaryDispatch& d : direct.dispatches) {
+        merge_effect(joined.dispatches, keys, d);
+      }
+      for (const SummaryWait& w : direct.waits) {
+        merge_effect(joined.waits, keys, w);
+      }
+      for (const ParamEscape& p : direct.param_escapes) {
+        merge_effect(joined.param_escapes, keys, p);
+      }
+      const auto it = out_edges.find(member);
+      if (it == out_edges.end()) continue;
+      for (const std::size_t e : it->second) {
+        const ResolvedCall& edge = edges[e];
+        if (members.count(edge.callee) != 0) continue;
+        const FunctionSummary& callee = summaries_[edge.callee];
+        for (const SummaryDispatch& d : callee.dispatches) {
+          SummaryDispatch lifted = d;
+          lifted.path = prepend_frame(edge.frame, d.path);
+          lifted.conditional = d.conditional || edge.conditional;
+          merge_effect(joined.dispatches, keys, std::move(lifted));
+        }
+        for (const SummaryWait& w : callee.waits) {
+          SummaryWait lifted = w;
+          lifted.path = prepend_frame(edge.frame, w.path);
+          merge_effect(joined.waits, keys, std::move(lifted));
+        }
+        // Escapes lift only when the call forwards one of the member's
+        // own by-ref parameters; arguments naming locals are resolved
+        // per call site by the lifetime pass (analyzer.cpp).
+        const auto params_it = byref_params.find(member);
+        if (params_it == byref_params.end()) continue;
+        for (const ParamEscape& p : callee.param_escapes) {
+          if (p.param >= edge.args.size()) continue;
+          const std::string arg = bare_identifier_arg(edge.args[p.param]);
+          if (arg.empty()) continue;
+          const auto own = params_it->second.find(arg);
+          if (own == params_it->second.end()) continue;
+          ParamEscape lifted = p;
+          lifted.param = own->second;
+          lifted.param_name = arg;
+          lifted.path = prepend_frame(edge.frame, p.path);
+          lifted.conditional = p.conditional || edge.conditional;
+          merge_effect(joined.param_escapes, keys, std::move(lifted));
+        }
+      }
+    }
+    for (const std::string& member : members) summaries_[member] = joined;
+  }
+}
+
+const FunctionSummary* SummaryTable::summary(const std::string& name) const {
+  const auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const CallFrame* SummaryTable::first_caller(const std::string& name) const {
+  const auto it = callers_.find(name);
+  return it == callers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace evmp::analysis

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/dispatch_site.hpp"
 #include "common/env.hpp"
 
 namespace evmp::analysis {
@@ -68,12 +69,15 @@ RaceCheck::ThreadState& RaceCheck::self_locked() {
 }
 
 std::uint64_t RaceCheck::on_dispatch(std::string_view target) {
+  // Sampled before the lock: the site stack belongs to this thread.
+  std::string site = dispatch_site_path();
   std::scoped_lock lock(mu_);
   ThreadState& self = self_locked();
   const std::uint64_t birth = next_birth_++;
   Birth record;
   record.clock = self.clock;
   record.chain = self.chain + " -> " + std::string(target);
+  if (!site.empty()) record.chain += " [at " + site + "]";
   births_.emplace(birth, std::move(record));
   ++self.clock[static_cast<std::size_t>(self.slot)];
   return birth;

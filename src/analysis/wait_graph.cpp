@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "analysis/dispatch_site.hpp"
 #include "common/env.hpp"
 #include "common/tracing.hpp"
 
@@ -26,6 +27,8 @@ std::uint64_t WaitGraph::add_wait(const Waiter& from, const std::string& to,
                                   bool hard) {
   std::uint64_t id = 0;
   std::string report;
+  // Sampled outside the lock: the site stack is the calling thread's own.
+  std::string site = dispatch_site_path();
   {
     std::scoped_lock lk(mu_);
     NodeState& origin = nodes_[from.name];
@@ -33,7 +36,8 @@ std::uint64_t WaitGraph::add_wait(const Waiter& from, const std::string& to,
     if (hard) ++origin.blocked;
     nodes_.try_emplace(to);
     id = next_id_++;
-    edges_.push_back({id, from.name, to, to_pending, what, hard});
+    edges_.push_back({id, from.name, to, to_pending, what, hard,
+                      std::move(site)});
     // Only a newly saturated origin can close a cycle: every cycle needs
     // all of its executors fully blocked, and this insertion is the only
     // state change since the last check.
@@ -103,7 +107,9 @@ std::string WaitGraph::describe_locked() const {
           << " threads blocked)";
     }
     out << (e.hard ? " waits on '" : " pumps while awaiting '") << e.to
-        << "' via " << e.what << " (pending=" << e.pending << ")\n";
+        << "' via " << e.what << " (pending=" << e.pending << ")";
+    if (!e.site.empty()) out << " [at " << e.site << "]";
+    out << "\n";
   }
   return out.str();
 }
@@ -116,7 +122,9 @@ std::string WaitGraph::report_cycle_locked(
   for (const Edge* e : cycle) {
     chain += " -> " + e->to;
     out << "  '" << e->from << "' waits on '" << e->to << "' via " << e->what
-        << " (pending=" << e->pending << ")\n";
+        << " (pending=" << e->pending << ")";
+    if (!e->site.empty()) out << " [at " << e->site << "]";
+    out << "\n";
   }
   out << "cycle: " << chain << "\n";
   out << "wait-for graph:\n" << describe_locked();

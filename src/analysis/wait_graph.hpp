@@ -81,6 +81,8 @@ class WaitGraph {
     std::size_t pending = 0;
     const char* what = "";
     bool hard = false;
+    std::string site;  ///< dispatch-site call path of the waiting thread
+                       ///< (evmpcc --annotate-sites); empty otherwise
   };
   struct NodeState {
     std::size_t blocked = 0;      ///< hard-blocked waiter threads

@@ -1,0 +1,407 @@
+#include "compilerlib/function_scanner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace evmp::compiler {
+
+namespace {
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Identifiers that introduce control flow, types, or expressions — never
+/// a linkable function name on either side of a call edge.
+bool is_reserved(std::string_view word) noexcept {
+  static constexpr std::array<std::string_view, 44> kWords = {
+      "if",       "else",     "for",      "while",     "do",
+      "switch",   "case",     "catch",    "try",       "return",
+      "sizeof",   "alignof",  "alignas",  "decltype",  "typeid",
+      "new",      "delete",   "throw",    "using",     "typedef",
+      "template", "typename", "class",    "struct",    "enum",
+      "union",    "namespace","operator", "requires",  "noexcept",
+      "co_await", "co_return","co_yield", "static_assert",
+      "int",      "char",     "bool",     "float",     "double",
+      "void",     "long",     "short",    "unsigned",  "auto"};
+  return std::find(kWords.begin(), kWords.end(), word) != kWords.end();
+}
+
+/// Previous code character at or before `pos - 1`, skipping whitespace and
+/// non-code bytes; '\0' at buffer start.
+char prev_code_char(const SourceScanner& scanner, std::size_t pos) {
+  const auto src = scanner.source();
+  while (pos > 0) {
+    --pos;
+    if (scanner.at(pos) != CharClass::kCode) continue;
+    if (std::isspace(static_cast<unsigned char>(src[pos])) != 0) continue;
+    return src[pos];
+  }
+  return '\0';
+}
+
+/// True when the identifier at `pos` sits on a preprocessor line (first
+/// non-whitespace code byte of the line is '#') — `#define M(x)` and
+/// `#pragma omp ... num_threads(4)` are not calls or definitions.
+bool on_preprocessor_line(const SourceScanner& scanner, std::size_t pos) {
+  const auto src = scanner.source();
+  std::size_t i = pos;
+  while (i > 0 && src[i - 1] != '\n') --i;
+  for (; i < pos; ++i) {
+    if (scanner.at(i) != CharClass::kCode) continue;
+    const char c = src[i];
+    if (c == ' ' || c == '\t') continue;
+    return c == '#';
+  }
+  return false;
+}
+
+/// Matching close paren of the '(' at `open`, code-class aware; npos when
+/// unbalanced.
+std::size_t match_paren(const SourceScanner& scanner, std::size_t open) {
+  const auto src = scanner.source();
+  int depth = 0;
+  for (std::size_t i = open; i < src.size(); ++i) {
+    if (scanner.at(i) != CharClass::kCode) continue;
+    if (src[i] == '(') ++depth;
+    if (src[i] == ')' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t match_brace(const SourceScanner& scanner, std::size_t open) {
+  const auto src = scanner.source();
+  int depth = 0;
+  for (std::size_t i = open; i < src.size(); ++i) {
+    if (scanner.at(i) != CharClass::kCode) continue;
+    if (src[i] == '{') ++depth;
+    if (src[i] == '}' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Split at top-level (bracket-depth-zero) occurrences of `sep`.
+std::vector<std::string> split_top_level(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() &&
+        (s[i] == '(' || s[i] == '[' || s[i] == '{' || s[i] == '<')) {
+      ++depth;
+    }
+    if (i < s.size() &&
+        (s[i] == ')' || s[i] == ']' || s[i] == '}' || s[i] == '>')) {
+      --depth;
+    }
+    if (i == s.size() || (s[i] == sep && depth <= 0)) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string trailing_identifier(std::string_view text) {
+  std::size_t end = text.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  if (begin == end ||
+      std::isdigit(static_cast<unsigned char>(text[begin])) != 0) {
+    return {};
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+FunctionParam parse_param(std::string_view text) {
+  FunctionParam param;
+  // Strip a default argument; `=` inside nested brackets belongs to it too,
+  // so a top-level split is enough.
+  const std::vector<std::string> halves = split_top_level(text, '=');
+  const std::string decl = trim(halves.front());
+  if (decl.empty() || decl == "void" || decl == "...") return param;
+  param.by_ref = decl.find('&') != std::string::npos ||
+                 decl.find('*') != std::string::npos ||
+                 decl.find('[') != std::string::npos;
+  std::string name = trailing_identifier(decl);
+  // `const T& x` yields "x"; a bare type like `int` yields the type name —
+  // reject names that are the whole declarator (unnamed parameter).
+  if (name == decl || is_reserved(name)) name.clear();
+  param.name = std::move(name);
+  return param;
+}
+
+/// After the parameter list's ')': skip qualifier tokens and a trailing
+/// return type; returns the offset of the body '{', the offset of a ':'
+/// starting a constructor initializer list (resolved by the caller), or
+/// npos when this is not a definition.
+struct SuffixScan {
+  std::size_t body = std::string_view::npos;
+  bool init_list = false;
+};
+
+SuffixScan scan_suffix(const SourceScanner& scanner, std::size_t after) {
+  const auto src = scanner.source();
+  std::size_t i = after;
+  int paren_depth = 0;
+  bool in_trailing_return = false;
+  while (i < src.size()) {
+    if (scanner.at(i) != CharClass::kCode) {
+      ++i;
+      continue;
+    }
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      ++paren_depth;
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      if (paren_depth == 0) return {};  // enclosing expression, not a suffix
+      --paren_depth;
+      ++i;
+      continue;
+    }
+    if (paren_depth > 0) {
+      ++i;
+      continue;
+    }
+    if (c == '{') return {i, false};
+    if (in_trailing_return) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      in_trailing_return = true;
+      i += 2;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < src.size() && src[i + 1] == ':') return {};
+      return {i, true};
+    }
+    if (is_ident_char(c)) {
+      std::size_t e = i;
+      while (e < src.size() && scanner.at(e) == CharClass::kCode &&
+             is_ident_char(src[e])) {
+        ++e;
+      }
+      const std::string_view word = src.substr(i, e - i);
+      if (word == "const" || word == "noexcept" || word == "override" ||
+          word == "final" || word == "try" || word == "throw" ||
+          word == "requires") {
+        i = e;
+        continue;
+      }
+      return {};
+    }
+    return {};  // ';' (declaration), ',', operator, etc.
+  }
+  return {};
+}
+
+/// From a ':' initializer list, find the body '{'. Member brace-inits
+/// (`a_{x}`) directly follow an identifier or '>'; the body brace follows
+/// ')' , '}' or the list itself.
+std::size_t skip_init_list(const SourceScanner& scanner, std::size_t colon) {
+  const auto src = scanner.source();
+  std::size_t i = colon + 1;
+  int paren_depth = 0;
+  char prev = '\0';
+  while (i < src.size()) {
+    if (scanner.at(i) != CharClass::kCode) {
+      ++i;
+      continue;
+    }
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '(') ++paren_depth;
+    if (c == ')') --paren_depth;
+    if (c == '{' && paren_depth == 0) {
+      if (is_ident_char(prev) || prev == '>') {
+        const std::size_t close = match_brace(scanner, i);
+        if (close == std::string_view::npos) return std::string_view::npos;
+        i = close + 1;
+        prev = '}';
+        continue;
+      }
+      return i;
+    }
+    if (c == ';') return std::string_view::npos;
+    prev = c;
+    ++i;
+  }
+  return std::string_view::npos;
+}
+
+/// Iterate identifier tokens in code class; calls fn(begin, end) per token.
+template <typename Fn>
+void for_each_identifier(const SourceScanner& scanner, std::size_t begin,
+                         std::size_t end, Fn&& fn) {
+  const auto src = scanner.source();
+  end = std::min(end, src.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if (scanner.at(i) != CharClass::kCode || !is_ident_char(src[i])) continue;
+    if (std::isdigit(static_cast<unsigned char>(src[i])) != 0) {
+      while (i < end && scanner.at(i) == CharClass::kCode &&
+             is_ident_char(src[i])) {
+        ++i;
+      }
+      continue;
+    }
+    if (i > 0 && scanner.at(i - 1) == CharClass::kCode &&
+        is_ident_char(src[i - 1])) {
+      continue;
+    }
+    std::size_t e = i;
+    while (e < end && scanner.at(e) == CharClass::kCode &&
+           is_ident_char(src[e])) {
+      ++e;
+    }
+    fn(i, e);
+    i = e - 1;
+  }
+}
+
+/// Shared gate for both scans: identifier at [s,e) immediately applied to a
+/// balanced paren group. Returns the close paren, or npos to skip.
+std::size_t paren_group_after(const SourceScanner& scanner, std::size_t e) {
+  const auto open = scanner.next_code_char(e);
+  if (!open || scanner.source()[*open] != '(') return std::string_view::npos;
+  return match_paren(scanner, *open);
+}
+
+bool has_member_or_qualified_prefix(const SourceScanner& scanner,
+                                    std::size_t s) {
+  const char prev = prev_code_char(scanner, s);
+  if (prev == '.' || prev == '~') return true;
+  if (prev == ':') return true;  // `A::f` — qualified
+  if (prev == '>') {
+    // `p->f` — but `T>` of a template close also ends in '>'; only the
+    // arrow form has '-' before it.
+    const auto src = scanner.source();
+    std::size_t i = s;
+    while (i > 0 && (scanner.at(i - 1) != CharClass::kCode ||
+                     std::isspace(static_cast<unsigned char>(
+                         src[i - 1])) != 0)) {
+      --i;
+    }
+    if (i >= 2 && src[i - 1] == '>' && src[i - 2] == '-') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> scan_functions(const SourceScanner& scanner) {
+  const auto src = scanner.source();
+  std::vector<FunctionDef> out;
+  for_each_identifier(scanner, 0, src.size(), [&](std::size_t s,
+                                                  std::size_t e) {
+    const std::string_view word = src.substr(s, e - s);
+    if (is_reserved(word)) return;
+    if (on_preprocessor_line(scanner, s)) return;
+    const char prev = prev_code_char(scanner, s);
+    if (prev == '.' || prev == '~') return;
+    if (prev == '>' && has_member_or_qualified_prefix(scanner, s)) return;
+    const std::size_t close = paren_group_after(scanner, e);
+    if (close == std::string_view::npos) return;
+    SuffixScan suffix = scan_suffix(scanner, close + 1);
+    if (suffix.init_list) {
+      suffix.body = skip_init_list(scanner, suffix.body);
+      if (suffix.body == std::string_view::npos) return;
+    }
+    if (suffix.body == std::string_view::npos) return;
+    const std::size_t body_close = match_brace(scanner, suffix.body);
+    if (body_close == std::string_view::npos) return;
+
+    FunctionDef def;
+    def.name = std::string(word);
+    def.name_pos = s;
+    def.line = scanner.line_of(s);
+    def.body_begin = suffix.body;
+    def.body_end = body_close + 1;
+    const auto open = scanner.next_code_char(e);
+    const std::string_view params =
+        src.substr(*open + 1, close - *open - 1);
+    if (!trim(params).empty()) {
+      for (const std::string& p : split_top_level(params, ',')) {
+        def.params.push_back(parse_param(p));
+      }
+    }
+    out.push_back(std::move(def));
+  });
+  return out;
+}
+
+std::vector<CallSite> scan_calls(const SourceScanner& scanner,
+                                 std::size_t begin, std::size_t end) {
+  const auto src = scanner.source();
+  std::vector<CallSite> out;
+  for_each_identifier(scanner, begin, end, [&](std::size_t s, std::size_t e) {
+    const std::string_view word = src.substr(s, e - s);
+    if (is_reserved(word)) return;
+    if (on_preprocessor_line(scanner, s)) return;
+    if (has_member_or_qualified_prefix(scanner, s)) return;
+    const std::size_t close = paren_group_after(scanner, e);
+    if (close == std::string_view::npos || close >= end) return;
+    // A '{' after the argument list means this is a definition (or a
+    // macro with a trailing block), not a call.
+    const auto after = scanner.next_code_char(close + 1);
+    if (after && src[*after] == '{') return;
+    // A declaration like `Image img(w, h);` has a type name directly
+    // before the "callee"; skip when the previous token is an identifier.
+    if (is_ident_char(prev_code_char(scanner, s))) return;
+
+    CallSite call;
+    call.callee = std::string(word);
+    call.pos = s;
+    call.line = scanner.line_of(s);
+    const auto open = scanner.next_code_char(e);
+    const std::string_view args = src.substr(*open + 1, close - *open - 1);
+    if (!trim(args).empty()) {
+      for (const std::string& a : split_top_level(args, ',')) {
+        call.args.push_back(trim(a));
+      }
+    }
+    out.push_back(std::move(call));
+  });
+  return out;
+}
+
+int function_at(const std::vector<FunctionDef>& functions, std::size_t pos) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(functions.size()); ++i) {
+    const FunctionDef& f = functions[static_cast<std::size_t>(i)];
+    if (f.body_begin <= pos && pos < f.body_end) {
+      if (best < 0 ||
+          f.body_begin > functions[static_cast<std::size_t>(best)].body_begin) {
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace evmp::compiler

@@ -1,0 +1,72 @@
+#pragma once
+// Token-level detection of function definitions and call sites over a
+// SourceScanner, shared by the interprocedural analyzer (call graph and
+// effect summaries, DESIGN.md §12) and the translator's --annotate-sites
+// mode (runtime dispatch-site frames).
+//
+// This is deliberately not a C++ frontend. A *definition* is an
+// identifier token followed by a balanced parameter list and a `{` body
+// (allowing const/noexcept/override/final/try suffixes, trailing return
+// types, and constructor initializer lists); qualified definitions
+// (`Foo::bar`) record the last name component. A *call site* is an
+// identifier followed by `(` that is not a definition, not preceded by
+// `.`/`->`/`::`/`~` (member, qualified, and destructor calls cannot be
+// linked by bare name), and not on a preprocessor line. Lambdas are
+// invisible on both sides: they have no name to link.
+//
+// The scan is resilient rather than precise — macro invocations with a
+// trailing block (TEST(...) { ... }) parse as definitions of the macro
+// name, which is harmless: nothing resolves a call to them. What matters
+// downstream is that every *real* function around a directive is found,
+// so effects can be attributed and propagated through calls.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "compilerlib/source_scanner.hpp"
+
+namespace evmp::compiler {
+
+/// One declared parameter of a scanned function definition.
+struct FunctionParam {
+  std::string name;     ///< empty for unnamed parameters
+  bool by_ref = false;  ///< `&`, `*`, or array declarator: the callee can
+                        ///< retain access to the caller's object
+};
+
+/// One function definition: `name(params) ... { body }`.
+struct FunctionDef {
+  std::string name;
+  int line = 0;               ///< 1-based line of the name token
+  std::size_t name_pos = 0;   ///< byte offset of the name token
+  std::size_t body_begin = 0; ///< offset of the body '{'
+  std::size_t body_end = 0;   ///< one past the body's closing '}'
+  std::vector<FunctionParam> params;
+};
+
+/// One call site: `callee(args)` at statement level inside some scope.
+struct CallSite {
+  std::string callee;
+  int line = 0;
+  std::size_t pos = 0;            ///< byte offset of the callee token
+  std::vector<std::string> args;  ///< raw top-level-comma-split argument
+                                  ///< texts, whitespace-trimmed
+};
+
+/// Every function definition of the buffer, in source order.
+[[nodiscard]] std::vector<FunctionDef> scan_functions(
+    const SourceScanner& scanner);
+
+/// Every call site in [begin, end), in source order. Definitions inside
+/// the range are not reported as calls.
+[[nodiscard]] std::vector<CallSite> scan_calls(const SourceScanner& scanner,
+                                               std::size_t begin,
+                                               std::size_t end);
+
+/// Innermost definition whose body contains `pos`, or -1. Definitions
+/// never partially overlap, so "innermost" is the latest-starting span.
+[[nodiscard]] int function_at(const std::vector<FunctionDef>& functions,
+                              std::size_t pos);
+
+}  // namespace evmp::compiler

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "compilerlib/function_scanner.hpp"
 #include "compilerlib/source_scanner.hpp"
 
 namespace evmp::compiler {
@@ -104,8 +105,25 @@ struct Rewriter {
   int next_region = 0;
   int rewritten = 0;
 
-  std::string transform(std::string_view src, int base_line = 1) {
+  /// Frame name for annotate_sites. The top-level transform resolves each
+  /// directive's enclosing function; recursive calls (region bodies) pass
+  /// the resolved frame down — nested directives share the outer frame
+  /// (lambdas have no name to link).
+  std::string transform(std::string_view src, int base_line = 1,
+                        const std::string& outer_frame = {},
+                        bool top_level = true) {
     SourceScanner scanner(src);
+    std::vector<FunctionDef> functions;
+    if (options.annotate_sites && top_level) {
+      functions = scan_functions(scanner);
+    }
+    const auto frame_of = [&](std::size_t pos) -> std::string {
+      if (!options.annotate_sites) return {};
+      if (!top_level) return outer_frame;
+      const int fn = function_at(functions, pos);
+      if (fn < 0) return "<file scope>";
+      return functions[static_cast<std::size_t>(fn)].name;
+    };
     std::string out;
     out.reserve(src.size() + 256);
     std::size_t pos = 0;
@@ -113,8 +131,15 @@ struct Rewriter {
       out.append(src.substr(pos, m->begin - pos));
       const Directive d =
           parse_directive(m->text, base_line + (m->line - 1));
+      const std::string frame = frame_of(m->begin);
       if (d.kind == Directive::Kind::kWait) {
-        out += options.runtime_expr + ".wait_tag(" + quoted(d.wait_tag) + ");";
+        std::string call =
+            options.runtime_expr + ".wait_tag(" + quoted(d.wait_tag) + ");";
+        if (options.annotate_sites) {
+          call = "{ ::evmp::analysis::ScopedDispatchSite __evmp_site(" +
+                 quoted(frame) + "); " + call + " }";
+        }
+        out += call;
         pos = m->end;
         ++rewritten;
         continue;
@@ -132,7 +157,8 @@ struct Rewriter {
                              loop_block.end - loop_block.begin);
         const int region_id = next_region++;
         const std::string body = transform(
-            loop_body, base_line + (scanner.line_of(loop_block.begin) - 1));
+            loop_body, base_line + (scanner.line_of(loop_block.begin) - 1),
+            frame, false);
         out += generate_parallel_for(d, fh, body, loop_block.braced,
                                      region_id);
         ++rewritten;
@@ -149,7 +175,8 @@ struct Rewriter {
                              par_block.end - par_block.begin);
         const int region_id = next_region++;
         const std::string body = transform(
-            par_body, base_line + (scanner.line_of(par_block.begin) - 1));
+            par_body, base_line + (scanner.line_of(par_block.begin) - 1),
+            frame, false);
         out += generate_parallel(d, body, par_block.braced, region_id);
         ++rewritten;
         pos = par_block.end;
@@ -167,8 +194,9 @@ struct Rewriter {
       // Depth-first: inner directives are rewritten inside the region body.
       const int body_line =
           base_line + (scanner.line_of(block.begin) - 1);
-      const std::string body = transform(body_text, body_line);
-      out += generate_invocation(d, body, block.braced, region_id, options);
+      const std::string body = transform(body_text, body_line, frame, false);
+      out += generate_invocation(d, body, block.braced, region_id, options,
+                                 frame);
       ++rewritten;
       pos = block.end;
     }
@@ -181,10 +209,17 @@ struct Rewriter {
 
 std::string generate_invocation(const Directive& d, const std::string& body,
                                 bool braced, int region_id,
-                                const TranslateOptions& options) {
+                                const TranslateOptions& options,
+                                const std::string& site_frame) {
   const std::string region = "__evmp_region_" + std::to_string(region_id);
   std::ostringstream os;
   os << "{ /* evmpcc line " << d.line << " */\n";
+  if (!site_frame.empty()) {
+    // RAII scope covers the dispatch below, so EVMP_VERIFY / EVMP_RACECHECK
+    // stamp this frame into their reported chains.
+    os << "  ::evmp::analysis::ScopedDispatchSite __evmp_site_" << region_id
+       << "(" << quoted(site_frame) << ");\n";
+  }
   os << "  auto " << region << " = " << capture_list(d) << "() {";
   if (braced) {
     os << body;
@@ -552,6 +587,12 @@ TranslateResult translate_source(std::string_view source,
   TranslateResult result;
   result.output = rw.transform(source);
   result.directives_rewritten = rw.rewritten;
+  if (result.directives_rewritten > 0 && options.annotate_sites) {
+    result.output =
+        "#include \"analysis/dispatch_site.hpp\"  // added by evmpcc "
+        "--annotate-sites\n" +
+        result.output;
+  }
   if (result.directives_rewritten > 0 && options.add_include) {
     result.output =
         "#include \"core/evmp.hpp\"  // added by evmpcc\n" + result.output;

@@ -39,6 +39,12 @@ struct TranslateOptions {
   bool add_include = true;
   /// Expression evaluating to the Runtime& the generated code talks to.
   std::string runtime_expr = "::evmp::rt()";
+  /// Wrap every generated dispatch/wait in a ScopedDispatchSite naming the
+  /// enclosing function (compilerlib function scanner — the same frames
+  /// the static analyzer's call paths use), so the EVMP_VERIFY and
+  /// EVMP_RACECHECK reports carry the source call chain. Off by default:
+  /// the plain translation stays byte-identical.
+  bool annotate_sites = false;
 };
 
 /// Translation outcome.
@@ -54,11 +60,14 @@ TranslateResult translate_source(std::string_view source,
 
 /// Generate the replacement code for one directive whose (already
 /// recursively translated) block body is `body`. `braced` tells whether the
-/// original block was a compound statement. Exposed for unit testing.
+/// original block was a compound statement. A non-empty `site_frame`
+/// (annotate_sites mode) names the enclosing function for the generated
+/// ScopedDispatchSite. Exposed for unit testing.
 std::string generate_invocation(const Directive& directive,
                                 const std::string& body, bool braced,
                                 int region_id,
-                                const TranslateOptions& options);
+                                const TranslateOptions& options,
+                                const std::string& site_frame = {});
 
 /// The canonical-form for-loop header a `parallel for` directive accepts:
 ///   for (TYPE VAR = INIT; VAR < BOUND; ++VAR)   (also <=, VAR++, VAR += 1)

@@ -1,0 +1,23 @@
+// Fixture: clean — a by-ref escape through a helper function that the
+// caller joins with wait(tag) while the storage is live. Exercises the
+// interprocedural summary machinery without tripping E5/W1/W4.
+#include <cstdio>
+
+void produce(int& value) {
+  //#omp target virtual(worker) name_as(batch)
+  {
+    value = 42;
+  }
+}
+
+void drive() {
+  int value = 0;
+  produce(value);
+  //#omp wait(batch)
+  std::printf("value %d\n", value);
+}
+
+int main() {
+  drive();
+  return 0;
+}

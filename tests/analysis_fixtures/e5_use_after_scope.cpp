@@ -1,0 +1,34 @@
+// Fixture: E5 — by-ref captured storage dies while the nowait dispatch
+// that captured it may still be pending: once through a helper function
+// (the escape surfaces at the call site), once directly from a frame
+// that returns.
+#include <cstdio>
+
+void submit_job(int& slot) {
+  //#omp target virtual(worker) nowait
+  {
+    slot += 1;
+  }
+}
+
+void drive() {
+  {
+    int slot = 7;
+    submit_job(slot);
+  }
+  std::printf("slot's block is gone, the worker may still write it\n");
+}
+
+void fire_and_return() {
+  int payload = 99;
+  //#omp target virtual(worker) nowait
+  {
+    std::printf("payload %d\n", payload);
+  }
+}
+
+int main() {
+  drive();
+  fire_and_return();
+  return 0;
+}

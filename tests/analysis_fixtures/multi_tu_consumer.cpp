@@ -1,0 +1,9 @@
+// Fixture: multi-TU consumer — wait(frames) whose name_as(frames)
+// producer lives in multi_tu_producer.cpp. Linted alone this TU raises
+// W1 (no producer in sight); linked with the producer the pair is clean.
+#include <cstdio>
+
+void consume_frames() {
+  //#omp wait(frames)
+  std::printf("frames joined\n");
+}

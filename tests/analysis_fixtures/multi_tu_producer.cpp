@@ -1,0 +1,11 @@
+// Fixture: multi-TU producer — name_as(frames) whose wait(frames)
+// consumer lives in multi_tu_consumer.cpp. Linted alone this TU raises
+// W1 (tag never joined); linked with the consumer the pair is clean.
+#include <cstdio>
+
+void render_frames() {
+  //#omp target virtual(render) name_as(frames)
+  {
+    std::printf("frame produced\n");
+  }
+}

@@ -1,0 +1,16 @@
+// Fixture: W4 — the escaping dispatch sits under a condition, so the
+// use-after-scope is possible but not certain: warning, not error.
+#include <cstdio>
+
+void maybe_stage(bool hot) {
+  {
+    int staged = 0;
+    if (hot) {
+      //#omp target virtual(worker) nowait
+      {
+        staged = 1;
+      }
+    }
+  }
+  std::printf("staged's block is gone\n");
+}

@@ -98,4 +98,57 @@ if(NOT EXISTS ${WORKDIR}/clean_out.cpp)
   message(FATAL_ERROR "--analyze did not produce the translated output")
 endif()
 
+# Use-after-scope: E5 is an error (gates without --Werror); W4 is the
+# conditional-escape warning (gates only under --Werror).
+run_evmpcc(4 --analyze-only ${FIXTURES}/e5_use_after_scope.cpp)
+expect_contains(err "error\\[E5\\]" "e5 analyze")
+expect_contains(err "use after scope" "e5 message")
+run_evmpcc(0 --analyze-only ${FIXTURES}/w4_conditional_escape.cpp)
+expect_contains(err "warning\\[W4\\]" "w4 analyze")
+run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/w4_conditional_escape.cpp)
+
+# The interprocedural clean fixture passes the strictest gate: the escape
+# through the helper is joined by wait(batch) while the storage is live.
+run_evmpcc(0 --analyze-only --Werror ${FIXTURES}/clean_interprocedural.cpp)
+
+# Multi-TU linking: each half of the producer/consumer pair warns W1 when
+# linted alone, the linked pair is clean.
+run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/multi_tu_producer.cpp)
+expect_contains(err "warning\\[W1\\]" "producer alone")
+run_evmpcc(4 --analyze-only --Werror ${FIXTURES}/multi_tu_consumer.cpp)
+expect_contains(err "warning\\[W1\\]" "consumer alone")
+run_evmpcc(0 --analyze-only --Werror ${FIXTURES}/multi_tu_producer.cpp
+           ${FIXTURES}/multi_tu_consumer.cpp)
+
+# Several inputs without --analyze-only cannot be translated.
+run_evmpcc(2 ${FIXTURES}/multi_tu_producer.cpp
+           ${FIXTURES}/multi_tu_consumer.cpp)
+expect_contains(err "require --analyze-only" "multi-input usage error")
+
+# --analyze-project links every TU under the directory: the corpus holds
+# known-bad fixtures, so the gate fails — with findings from several files.
+run_evmpcc(4 --analyze-project ${FIXTURES})
+expect_contains(err "e1_self_blocking.cpp" "project lint names files")
+expect_contains(err "error\\[E5\\]" "project lint reaches e5")
+
+# SARIF diagnostics go to stdout with the 2.1.0 schema.
+run_evmpcc(4 --analyze-only --diag-format=sarif
+           ${FIXTURES}/e1_self_blocking.cpp)
+expect_contains(out "\"version\": \"2.1.0\"" "sarif version")
+expect_contains(out "\"ruleId\": \"E1\"" "sarif ruleId")
+expect_contains(out "\"name\": \"evmpcc\"" "sarif driver")
+run_evmpcc(2 --diag-format=yaml ${FIXTURES}/clean_pipeline.cpp)
+
+# --annotate-sites wraps generated dispatches in ScopedDispatchSite frames;
+# the default translation stays free of them.
+run_evmpcc(0 --annotate-sites ${FIXTURES}/e1_self_blocking.cpp
+           -o ${WORKDIR}/annotated_out.cpp)
+file(READ ${WORKDIR}/annotated_out.cpp annotated)
+expect_contains(annotated "ScopedDispatchSite" "annotate-sites emits frames")
+run_evmpcc(0 ${FIXTURES}/e1_self_blocking.cpp -o ${WORKDIR}/plain_out.cpp)
+file(READ ${WORKDIR}/plain_out.cpp plain)
+if("${plain}" MATCHES "ScopedDispatchSite")
+  message(FATAL_ERROR "plain translation must not emit dispatch sites")
+endif()
+
 message(STATUS "evmpcc CLI contract: all checks passed")

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -16,8 +17,11 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/call_graph.hpp"
 #include "analysis/diagnostic.hpp"
 #include "analysis/directive_graph.hpp"
+#include "analysis/dispatch_site.hpp"
+#include "analysis/function_summary.hpp"
 #include "analysis/mhp.hpp"
 #include "analysis/race_check.hpp"
 #include "analysis/wait_graph.hpp"
@@ -502,7 +506,364 @@ void f(int n) {
   EXPECT_TRUE(diags.empty());
 }
 
+// --- the per-TU call graph -------------------------------------------------
+
+TEST(CallGraphUnit, AttributesCallsToFunctionsAndRegions) {
+  const DirectiveGraph graph(R"(
+void helper() { leaf(); }
+void handler() {
+  //#omp target virtual(worker) nowait
+  {
+    helper();
+  }
+}
+)");
+  const evmp::analysis::CallGraph cg(graph);
+  ASSERT_EQ(cg.functions().size(), 2u);
+  EXPECT_EQ(cg.functions()[0].name, "helper");
+  EXPECT_EQ(cg.functions()[1].name, "handler");
+  bool saw_helper_call = false;
+  for (const evmp::analysis::AttributedCall& call : cg.calls()) {
+    if (call.site.callee != "helper") continue;
+    saw_helper_call = true;
+    EXPECT_EQ(call.caller, 1);  // attributed to handler
+    EXPECT_EQ(cg.context_target(call.site.pos), "worker");
+  }
+  EXPECT_TRUE(saw_helper_call);
+}
+
+// --- interprocedural E1/E2/E3 (function summaries) ------------------------
+
+TEST(Interprocedural, E1FiresThroughHelperCallWithPath) {
+  const auto diags = run(R"(
+void helper() {
+  //#omp target virtual(worker)
+  { busy(); }
+}
+void handler() {
+  //#omp target virtual(worker) nowait
+  {
+    helper();
+  }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 9);  // anchored at the call site, not the dispatch
+  EXPECT_NE(d->message.find("handler -> helper"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("dispatch at line 3"), std::string::npos);
+}
+
+TEST(Interprocedural, E2FiresThroughTwoLevelChain) {
+  const auto diags = run(R"(
+void leaf() {
+  //#omp target virtual(worker)
+  { long_work(); }
+}
+void mid() { leaf(); }
+void on_event() {
+  //#omp target virtual(edt) nowait
+  {
+    mid();
+  }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E2");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 10);
+  EXPECT_NE(d->message.find("mid"), std::string::npos);
+  EXPECT_NE(d->message.find("leaf"), std::string::npos);
+}
+
+TEST(Interprocedural, SilentWhenTheCalleeDispatchIsNonBlocking) {
+  const auto diags = run(R"(
+void helper() {
+  //#omp target virtual(worker) nowait
+  { fine(); }
+}
+void handler() {
+  //#omp target virtual(worker) nowait
+  {
+    helper();
+  }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E1"), nullptr);
+  EXPECT_EQ(find_rule(diags, "E2"), nullptr);
+}
+
+TEST(Interprocedural, E3CycleThroughCallMediatedEdge) {
+  const auto diags = run(R"(
+void poke_alpha() {
+  //#omp target virtual(alpha)
+  { }
+}
+//#omp target virtual(alpha) nowait
+{
+  //#omp target virtual(beta)
+  { }
+}
+//#omp target virtual(beta) nowait
+{
+  poke_alpha();
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E3");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("via call to poke_alpha"), std::string::npos)
+      << d->message;
+}
+
+TEST(Interprocedural, RecursionDoesNotDivergeAndStillReports) {
+  // Mutually recursive helpers form one SCC; the blocking dispatch must
+  // still surface at the region's call site without looping forever.
+  const auto diags = run(R"(
+void ping(int n) {
+  if (n > 0) pong(n - 1);
+  //#omp target virtual(worker)
+  { step(); }
+}
+void pong(int n) {
+  if (n > 0) ping(n - 1);
+}
+void handler() {
+  //#omp target virtual(worker) nowait
+  {
+    pong(3);
+  }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 13);
+}
+
+// --- E5 / W4: capture lifetimes -------------------------------------------
+
+TEST(CaptureLifetime, E5FiresOnInnerBlockNowaitCapture) {
+  const auto diags = run(R"(
+void f() {
+  {
+    int data = 0;
+    //#omp target virtual(worker) nowait
+    { data = 1; }
+  }
+  more();
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E5");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 5);
+  EXPECT_NE(d->message.find("'data'"), std::string::npos);
+  EXPECT_NE(d->message.find("use after scope"), std::string::npos);
+}
+
+TEST(CaptureLifetime, E5SilentWhenJoinedInsideTheBlock) {
+  const auto diags = run(R"(
+void f() {
+  {
+    int data = 0;
+    //#omp target virtual(worker) name_as(t)
+    { data = 1; }
+    //#omp wait(t)
+  }
+}
+)");
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(CaptureLifetime, E5SilentWhenFencedByBlockingDispatchToSameTarget) {
+  // The serial executor drains its FIFO: a later await dispatch to the
+  // same target joins the pending nowait block before the storage dies.
+  const auto diags = run(R"(
+void f() {
+  {
+    int data = 0;
+    //#omp target virtual(worker) nowait
+    { data = 1; }
+    //#omp target virtual(worker) await
+    { flush(); }
+  }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E5"), nullptr);
+}
+
+TEST(CaptureLifetime, FrameLocalFiresOnlyWithAKnownCaller) {
+  // Without a caller the frame may well be main's: analysis horizon.
+  const std::string_view body = R"(
+void fire() {
+  int payload = 0;
+  //#omp target virtual(worker) nowait
+  { payload = 1; }
+}
+)";
+  EXPECT_TRUE(run(body).empty());
+  const std::string with_caller =
+      std::string(body) + "void drive() { fire(); }\n";
+  const auto diags = run(with_caller);
+  const Diagnostic* d = find_rule(diags, "E5");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 4);
+  EXPECT_NE(d->message.find("frame of 'fire'"), std::string::npos);
+  EXPECT_NE(d->message.find("called from"), std::string::npos);
+}
+
+TEST(CaptureLifetime, FirstprivateCaptureDoesNotEscape) {
+  const auto diags = run(R"(
+void f() {
+  {
+    int data = 0;
+    //#omp target virtual(worker) nowait firstprivate(data)
+    { consume(data); }
+  }
+}
+)");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CaptureLifetime, W4OnConditionalDispatch) {
+  const auto diags = run(R"(
+void f(bool hot) {
+  {
+    int staged = 0;
+    if (hot) {
+      //#omp target virtual(worker) nowait
+      { staged = 1; }
+    }
+  }
+}
+)");
+  EXPECT_EQ(find_rule(diags, "E5"), nullptr);
+  const Diagnostic* d = find_rule(diags, "W4");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_NE(d->message.find("possible use after scope"), std::string::npos);
+}
+
+TEST(CaptureLifetime, ByRefArgumentEscapeReportsAtTheCallSite) {
+  const auto diags = run(R"(
+void submit(int& slot) {
+  //#omp target virtual(worker) nowait
+  { slot += 1; }
+}
+void drive() {
+  {
+    int slot = 0;
+    submit(slot);
+  }
+}
+)");
+  const Diagnostic* d = find_rule(diags, "E5");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 9);
+  EXPECT_NE(d->message.find("drive -> submit"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("pass it by value"), std::string::npos);
+}
+
+// --- multi-TU linked analysis ---------------------------------------------
+
+TEST(MultiTu, LinkedTagsPairAcrossUnits) {
+  const std::vector<evmp::analysis::SourceUnit> units{
+      {"producer.cpp",
+       "void p() {\n//#omp target virtual(render) name_as(frames)\n"
+       "{ go(); }\n}\n"},
+      {"consumer.cpp", "void c() {\n//#omp wait(frames)\n}\n"}};
+  EXPECT_TRUE(evmp::analysis::analyze_program(units).empty());
+
+  // Either unit alone is a W1; the consumer-side message says so in
+  // single-TU wording.
+  const auto alone = evmp::analysis::analyze_program({units.back()});
+  const Diagnostic* d = find_rule(alone, "W1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("in this translation unit"), std::string::npos)
+      << d->message;
+}
+
+TEST(MultiTu, UnmatchedTagsCarryTheAnchoringFileAndLinkedWording) {
+  const std::vector<evmp::analysis::SourceUnit> units{
+      {"producer.cpp",
+       "void p() {\n//#omp target virtual(render) name_as(orphan)\n"
+       "{ go(); }\n}\n"},
+      {"consumer.cpp", "void c() {\n//#omp wait(missing)\n}\n"}};
+  const auto diags = evmp::analysis::analyze_program(units);
+  ASSERT_EQ(diags.size(), 2u);
+  // Sorted by file: consumer.cpp first.
+  EXPECT_EQ(diags[0].file, "consumer.cpp");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].file, "producer.cpp");
+  EXPECT_EQ(diags[1].line, 2);
+  EXPECT_NE(diags[0].message.find("anywhere in the linked program"),
+            std::string::npos);
+  const std::string text = evmp::analysis::render_text(diags, "a.cpp");
+  EXPECT_NE(text.find("consumer.cpp:2: warning[W1]"), std::string::npos)
+      << text;
+}
+
+TEST(MultiTu, BlockingHelperDefinedInAnotherUnit) {
+  const std::vector<evmp::analysis::SourceUnit> units{
+      {"helper.cpp",
+       "void helper() {\n//#omp target virtual(worker)\n{ busy(); }\n}\n"},
+      {"handler.cpp",
+       "void handler() {\n//#omp target virtual(worker) nowait\n{\n"
+       "helper();\n}\n}\n"}};
+  const auto diags = evmp::analysis::analyze_program(units);
+  const Diagnostic* d = find_rule(diags, "E1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->file, "handler.cpp");
+  EXPECT_EQ(d->line, 4);
+  EXPECT_NE(d->message.find("dispatch at helper.cpp:2"), std::string::npos)
+      << d->message;
+}
+
+TEST(MultiTu, UnparseableUnitIsAPerFileP1) {
+  const std::vector<evmp::analysis::SourceUnit> units{
+      {"good.cpp", "void ok() { }\n"},
+      {"bad.cpp", "//#omp target bogus(\n{ }\n"}};
+  const auto diags = evmp::analysis::analyze_program(units);
+  const Diagnostic* d = find_rule(diags, "P1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->file, "bad.cpp");
+}
+
 // --- evmp-lint-ignore suppressions -----------------------------------------
+
+TEST(AnalyzeRules, LintIgnoreCommaListCoversE5AndW4) {
+  const std::string_view source = R"(
+void f() {
+  {
+    int data = 0;
+    // evmp-lint-ignore(E5,W4)
+    //#omp target virtual(worker) nowait
+    { data = 1; }
+  }
+}
+)";
+  EXPECT_TRUE(run(source).empty());
+  // --no-ignores audits past the comma list.
+  EXPECT_NE(find_rule(run_no_ignores(source), "E5"), nullptr);
+}
+
+TEST(AnalyzeRules, LintIgnoreIsPerFileInLinkedMode) {
+  // The suppression in one TU must not leak into another TU's findings
+  // on the same line number.
+  const std::vector<evmp::analysis::SourceUnit> units{
+      {"suppressed.cpp",
+       "void p() {\n// evmp-lint-ignore(W1)\n"
+       "//#omp target virtual(render) name_as(orphan)\n{ go(); }\n}\n"},
+      {"loud.cpp",
+       "void q() {\n// not a marker\n//#omp wait(missing)\n}\n"}};
+  const auto diags = evmp::analysis::analyze_program(units);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "W1");
+  EXPECT_EQ(diags[0].file, "loud.cpp");
+}
+
 
 TEST(AnalyzeRules, LintIgnoreSuppressesOnLineAbove) {
   const std::string_view source = R"(
@@ -625,6 +986,11 @@ TEST(AnalysisFixtures, CorpusMatchesExpectedDiagnostics) {
       {"w3_conditional.cpp", {{"W3", 13}}},
       {"clean_joined_pipeline.cpp", {}},
       {"clean_suppressed_e4.cpp", {}},
+      {"e5_use_after_scope.cpp", {{"E5", 17}, {"E5", 24}}},
+      {"w4_conditional_escape.cpp", {{"W4", 9}}},
+      {"clean_interprocedural.cpp", {}},
+      {"multi_tu_producer.cpp", {{"W1", 7}}},
+      {"multi_tu_consumer.cpp", {{"W1", 7}}},
   };
   for (const Case& c : cases) {
     const std::string source =
@@ -647,6 +1013,82 @@ TEST(AnalysisFixtures, ExamplesAnalyzeClean) {
         read_file(std::string(EVMP_EXAMPLES_DIR) + "/" + name);
     EXPECT_TRUE(run(source).empty()) << name;
   }
+}
+
+TEST(AnalysisFixtures, MultiTuPairIsCleanWhenLinked) {
+  std::vector<evmp::analysis::SourceUnit> units;
+  for (const char* name :
+       {"multi_tu_producer.cpp", "multi_tu_consumer.cpp"}) {
+    units.push_back(
+        {name,
+         read_file(std::string(EVMP_ANALYSIS_FIXTURE_DIR) + "/" + name)});
+  }
+  const auto diags = evmp::analysis::analyze_program(units);
+  EXPECT_TRUE(diags.empty()) << evmp::analysis::render_text(diags, "pair");
+}
+
+// --- SARIF renderer --------------------------------------------------------
+
+TEST(Diagnostics, SarifRendererSchemaRulesAndLocations) {
+  std::vector<Diagnostic> diags{
+      {"E5", Severity::kError, 12, "use after scope: variable 'x'"},
+      {"W4", Severity::kWarning, 3, "possible use after scope", "other.cpp"}};
+  const std::string sarif = evmp::analysis::render_sarif(diags, "main.cpp");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"evmpcc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"E5\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  // The first finding falls back to the render file; the second carries
+  // its own anchoring TU.
+  EXPECT_NE(sarif.find("\"uri\": \"main.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"other.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  // Rule metadata is emitted once per distinct rule, sorted: E5 first.
+  const std::size_t e5_meta = sarif.find("{\"id\": \"E5\"");
+  const std::size_t w4_meta = sarif.find("{\"id\": \"W4\"");
+  ASSERT_NE(e5_meta, std::string::npos);
+  ASSERT_NE(w4_meta, std::string::npos);
+  EXPECT_LT(e5_meta, w4_meta);
+}
+
+TEST(Diagnostics, SarifRendererEmptyCaseIsValid) {
+  const std::string sarif = evmp::analysis::render_sarif({}, "a.cpp");
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos) << sarif;
+}
+
+// --- dispatch-site call chains (runtime verifier metadata) -----------------
+
+TEST(DispatchSite, StackComposesAndUnwinds) {
+  EXPECT_FALSE(evmp::analysis::has_dispatch_site());
+  EXPECT_EQ(evmp::analysis::dispatch_site_path(), "");
+  {
+    evmp::analysis::ScopedDispatchSite outer("on_click");
+    EXPECT_TRUE(evmp::analysis::has_dispatch_site());
+    {
+      evmp::analysis::ScopedDispatchSite inner("submit_jobs");
+      EXPECT_EQ(evmp::analysis::dispatch_site_path(),
+                "on_click -> submit_jobs");
+    }
+    EXPECT_EQ(evmp::analysis::dispatch_site_path(), "on_click");
+  }
+  EXPECT_FALSE(evmp::analysis::has_dispatch_site());
+}
+
+TEST(DispatchSite, OverflowIsCountedNotCrashed) {
+  std::vector<std::unique_ptr<evmp::analysis::ScopedDispatchSite>> frames;
+  frames.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    frames.push_back(
+        std::make_unique<evmp::analysis::ScopedDispatchSite>("deep"));
+  }
+  const std::string path = evmp::analysis::dispatch_site_path();
+  EXPECT_NE(path.find("deep"), std::string::npos);
+  EXPECT_NE(path.find("..."), std::string::npos) << path;
+  frames.clear();
+  EXPECT_FALSE(evmp::analysis::has_dispatch_site());
 }
 
 // --- WaitGraph (unit, no threads) -----------------------------------------
@@ -710,6 +1152,21 @@ TEST(WaitGraphUnit, ExternalWaitersCannotDeadlock) {
   EXPECT_TRUE(report.empty());
 }
 
+TEST(WaitGraphUnit, EdgesCarryTheActiveDispatchSite) {
+  WaitGraph graph;
+  std::string report;
+  graph.set_failure_handler([&](const std::string& r) { report = r; });
+  {
+    evmp::analysis::ScopedDispatchSite site("on_click");
+    graph.add_wait({"alpha", 1}, "beta", 1, "default-mode dispatch", true);
+  }
+  EXPECT_NE(graph.describe().find("[at on_click]"), std::string::npos)
+      << graph.describe();
+  graph.add_wait({"beta", 1}, "alpha", 1, "default-mode dispatch", true);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("[at on_click]"), std::string::npos) << report;
+}
+
 TEST(WaitGraphUnit, GlobalIsDisabledWithoutEnv) {
   ::unsetenv("EVMP_VERIFY");
   EXPECT_EQ(WaitGraph::global(), nullptr);
@@ -760,6 +1217,46 @@ TEST(RaceCheckUnit, DetectsUnjoinedCrossThreadWrites) {
   EXPECT_NE(report.find("data race"), std::string::npos);
   EXPECT_NE(report.find("'counter'"), std::string::npos);
   EXPECT_NE(report.find("worker"), std::string::npos) << report;
+}
+
+TEST(RaceCheckUnit, ReportChainsCarryDispatchSites) {
+  evmp::analysis::RaceCheck rc;
+  std::string report;
+  rc.set_failure_handler([&](const std::string& r) {
+    if (report.empty()) report = r;
+  });
+  evmp::analysis::RaceCheck::ScopedInstall install(&rc);
+
+  evmp::Runtime runtime;
+  runtime.create_worker("worker", 2);
+  evmp::shared<int> counter("counter");
+  evmp::common::ManualResetEvent first_wrote;
+  evmp::common::ManualResetEvent release_first;
+  evmp::exec::TaskHandle h1;
+  evmp::exec::TaskHandle h2;
+  {
+    evmp::analysis::ScopedDispatchSite site("submit_jobs");
+    h1 = runtime.invoke_target_block(
+        "worker",
+        [&] {
+          counter.write() = 1;
+          first_wrote.set();
+          release_first.wait();
+        },
+        evmp::Async::kNowait);
+    h2 = runtime.invoke_target_block(
+        "worker",
+        [&] {
+          first_wrote.wait();
+          counter.write() = 2;
+          release_first.set();
+        },
+        evmp::Async::kNowait);
+  }
+  h1.wait();
+  h2.wait();
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("[at submit_jobs]"), std::string::npos) << report;
 }
 
 TEST(RaceCheckUnit, WaitTagJoinOrdersAccesses) {

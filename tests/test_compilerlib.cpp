@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "compilerlib/directive.hpp"
+#include "compilerlib/function_scanner.hpp"
 #include "compilerlib/source_scanner.hpp"
 #include "compilerlib/translator.hpp"
 
@@ -627,6 +628,118 @@ TEST(Codegen, AwaitInvocationShape) {
   EXPECT_NE(code.find("[&]()"), std::string::npos);
   EXPECT_NE(code.find("Async::kAwait"), std::string::npos);
   EXPECT_NE(code.find("body();"), std::string::npos);
+}
+
+// ---- function scanner (shared by the analyzer and --annotate-sites) --------
+
+TEST(FunctionScanner, FindsDefinitionsAndParameters) {
+  SourceScanner s(
+      "int add(int a, int b) { return a + b; }\n"
+      "void submit(evmp::Runtime& rt, int& slot) {\n"
+      "  rt.post(slot);\n"
+      "}\n"
+      "int main() { return 0; }\n");
+  const auto fns = scan_functions(s);
+  ASSERT_EQ(fns.size(), 3u);
+  EXPECT_EQ(fns[0].name, "add");
+  EXPECT_EQ(fns[0].line, 1);
+  ASSERT_EQ(fns[1].params.size(), 2u);
+  EXPECT_EQ(fns[1].params[0].name, "rt");
+  EXPECT_TRUE(fns[1].params[0].by_ref);
+  EXPECT_EQ(fns[1].params[1].name, "slot");
+  EXPECT_TRUE(fns[1].params[1].by_ref);
+  EXPECT_EQ(fns[2].name, "main");
+  // Position attribution: the body of submit encloses rt.post's offset.
+  const std::size_t pos = s.source().find("rt.post");
+  EXPECT_EQ(function_at(fns, pos), 1);
+}
+
+TEST(FunctionScanner, ControlFlowKeywordsAreNotDefinitions) {
+  SourceScanner s(
+      "void f(int n) {\n"
+      "  if (n > 0) { g(); }\n"
+      "  while (n < 9) { ++n; }\n"
+      "  switch (n) { default: break; }\n"
+      "}\n");
+  const auto fns = scan_functions(s);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "f");
+}
+
+TEST(FunctionScanner, ScanCallsSkipsQualifiedAndMemberCalls) {
+  SourceScanner s(
+      "void f() {\n"
+      "  helper(x);\n"
+      "  obj.method(1);\n"
+      "  ns::qualified(2);\n"
+      "  ptr->deref(3);\n"
+      "}\n");
+  const auto calls = scan_calls(s, 0, s.source().size());
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].callee, "helper");
+  EXPECT_EQ(calls[0].line, 2);
+  ASSERT_EQ(calls[0].args.size(), 1u);
+  EXPECT_EQ(calls[0].args[0], "x");
+}
+
+// ---- --annotate-sites -------------------------------------------------------
+
+TEST(Translator, AnnotateSitesIsOffByDefault) {
+  const auto r = translate_source(
+      "void f() {\n//#omp target virtual(worker) nowait\n{ work(); }\n}\n",
+      no_include());
+  EXPECT_EQ(r.output.find("ScopedDispatchSite"), std::string::npos);
+}
+
+TEST(Translator, AnnotateSitesNamesTheEnclosingFunction) {
+  TranslateOptions o = no_include();
+  o.annotate_sites = true;
+  const auto r = translate_source(
+      "void on_click() {\n"
+      "//#omp target virtual(worker) nowait\n{ work(); }\n"
+      "//#omp wait(batch)\n"
+      "}\n",
+      o);
+  EXPECT_NE(
+      r.output.find(
+          "::evmp::analysis::ScopedDispatchSite __evmp_site_0(\"on_click\")"),
+      std::string::npos)
+      << r.output;
+  // The wait rewrite is wrapped in its own braced site scope.
+  EXPECT_NE(r.output.find("ScopedDispatchSite __evmp_site(\"on_click\"); "
+                          "::evmp::rt().wait_tag(\"batch\");"),
+            std::string::npos)
+      << r.output;
+  // The helper header rides along with the runtime include suppressed.
+  EXPECT_EQ(r.output.rfind("#include \"analysis/dispatch_site.hpp\"", 0), 0u)
+      << r.output;
+}
+
+TEST(Translator, AnnotateSitesFallsBackToFileScope) {
+  TranslateOptions o = no_include();
+  o.annotate_sites = true;
+  const auto r = translate_source(
+      "//#omp target virtual(worker) nowait\n{ work(); }\n", o);
+  EXPECT_NE(r.output.find("__evmp_site_0(\"<file scope>\")"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Translator, AnnotateSitesCoversNestedRegionsWithTheOuterFrame) {
+  TranslateOptions o = no_include();
+  o.annotate_sites = true;
+  const auto r = translate_source(
+      "void handler() {\n"
+      "//#omp target virtual(worker) await\n"
+      "{\n"
+      "  //#omp target virtual(edt) nowait\n"
+      "  { notify(); }\n"
+      "}\n"
+      "}\n",
+      o);
+  EXPECT_NE(r.output.find("__evmp_site_0(\"handler\")"), std::string::npos);
+  EXPECT_NE(r.output.find("__evmp_site_1(\"handler\")"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

@@ -2,29 +2,39 @@
 //
 // Usage:
 //   evmpcc <input.cpp> [-o <output.cpp>] [--no-include] [--runtime <expr>]
-//          [--analyze] [--analyze-only] [--Werror] [--no-ignores]
-//          [--diag-format=text|json]
+//          [--annotate-sites] [--analyze] [--analyze-only] [--Werror]
+//          [--no-ignores] [--diag-format=text|json|sarif]
+//   evmpcc --analyze-only <a.cpp> <b.cpp> ...      (multi-TU linked lint)
+//   evmpcc --analyze-project <dir> [options]       (lint every TU under dir)
 //
-// Reads a C++ source annotated with the paper's extended target directives
+// Reads C++ sources annotated with the paper's extended target directives
 // (`//#omp target virtual(...) ...` or `#pragma omp target virtual(...)`)
 // and emits the transformed source that calls the EventMP runtime — the
 // same job the Pyjama compiler performs for Java (paper §IV.A). With
-// --analyze the directive lint (DESIGN.md §8/§10) runs first: E1-E4
-// blocking-misuse and data-race errors, W1-W3 tag/capture/race warnings.
-// `// evmp-lint-ignore(<rule>)` comments suppress findings per site;
-// --no-ignores audits past them.
+// --analyze the directive lint (DESIGN.md §8/§10/§12) runs first: E1-E5
+// blocking-misuse, data-race, and use-after-scope errors, W1-W4
+// tag/capture/race/escape warnings — interprocedurally, through the
+// per-TU call graph and bottom-up function summaries. Multiple inputs
+// (or --analyze-project) are linked as one program: name_as(tag)
+// producers in one TU pair with wait(tag) consumers in another.
+// `// evmp-lint-ignore(<rule>[,<rule>...])` comments suppress findings
+// per site; --no-ignores audits past them.
 //
 // Exit codes (CI gates depend on these staying distinct):
 //   0  success
 //   1  cannot open input / cannot write output
-//   2  usage error (unknown flag, missing flag argument, no input)
+//   2  usage error (unknown flag, missing flag argument, no input,
+//      multiple inputs without --analyze-only)
 //   3  the input does not translate (malformed directive or block)
 //   4  analysis found errors (or warnings, under --Werror)
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/diagnostic.hpp"
@@ -39,18 +49,29 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " <input.cpp> [options]\n"
+         "       " << argv0
+      << " --analyze-only <input.cpp> [<input.cpp> ...]\n"
+         "       " << argv0
+      << " --analyze-project <dir> [options]\n"
          "  -o <file>            write translated source to <file> (default: "
          "stdout)\n"
          "  --no-include         do not prepend the evmp runtime include\n"
          "  --runtime <expr>     runtime accessor expression (default: "
          "::evmp::rt())\n"
+         "  --annotate-sites     wrap generated dispatches/waits in\n"
+         "                       ScopedDispatchSite so EVMP_VERIFY and\n"
+         "                       EVMP_RACECHECK reports carry call chains\n"
          "  --analyze            lint directives before translating\n"
-         "  --analyze-only       lint and stop (no translation output)\n"
+         "  --analyze-only       lint and stop (no translation output);\n"
+         "                       several inputs are linked as one program\n"
+         "  --analyze-project <dir>  lint every .cpp/.cc/.cxx under <dir>\n"
+         "                       as one linked program (implies "
+         "--analyze-only)\n"
          "  --Werror             analysis warnings fail the run (exit 4)\n"
          "  --no-ignores         disregard evmp-lint-ignore suppression "
          "comments\n"
-         "  --diag-format=<fmt>  diagnostics as 'text' (stderr) or 'json' "
-         "(stdout)\n"
+         "  --diag-format=<fmt>  diagnostics as 'text' (stderr), 'json' or "
+         "'sarif' (stdout)\n"
          "  --version            print version and exit\n"
          "  -h, --help           this message\n"
          "\n"
@@ -66,11 +87,29 @@ int usage_error(const char* argv0, const std::string& message) {
   return 2;
 }
 
+/// All translation units under `dir` (sorted for deterministic output).
+std::vector<std::string> collect_project_sources(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> sources;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") {
+      sources.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input;
+  std::vector<std::string> inputs;
   std::string output;
+  std::string project_dir;
   std::string diag_format = "text";
   bool analyze = false;
   bool analyze_only = false;
@@ -92,9 +131,19 @@ int main(int argc, char** argv) {
         return usage_error(argv[0], "option '--runtime' requires an argument");
       }
       options.runtime_expr = argv[++i];
+    } else if (arg == "--annotate-sites") {
+      options.annotate_sites = true;
     } else if (arg == "--analyze") {
       analyze = true;
     } else if (arg == "--analyze-only") {
+      analyze = true;
+      analyze_only = true;
+    } else if (arg == "--analyze-project") {
+      if (i + 1 >= argc) {
+        return usage_error(argv[0],
+                           "option '--analyze-project' requires an argument");
+      }
+      project_dir = argv[++i];
       analyze = true;
       analyze_only = true;
     } else if (arg == "--Werror") {
@@ -111,9 +160,10 @@ int main(int argc, char** argv) {
       } else {
         diag_format = arg.substr(std::string("--diag-format=").size());
       }
-      if (diag_format != "text" && diag_format != "json") {
+      if (diag_format != "text" && diag_format != "json" &&
+          diag_format != "sarif") {
         return usage_error(argv[0], "unknown --diag-format '" + diag_format +
-                                        "' (expected text or json)");
+                                        "' (expected text, json, or sarif)");
       }
     } else if (arg == "--version") {
       std::cout << "evmpcc (EventMP) " << EVMPCC_VERSION << "\n";
@@ -123,30 +173,60 @@ int main(int argc, char** argv) {
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage_error(argv[0], "unknown option '" + arg + "'");
-    } else if (input.empty()) {
-      input = arg;
     } else {
-      return usage_error(argv[0], "multiple input files given");
+      inputs.push_back(arg);
     }
   }
-  if (input.empty()) return usage_error(argv[0], "no input file");
-
-  std::ifstream in(input);
-  if (!in) {
-    std::cerr << "evmpcc: cannot open " << input << "\n";
-    return 1;
+  if (!project_dir.empty()) {
+    if (!inputs.empty()) {
+      return usage_error(argv[0],
+                         "--analyze-project and explicit inputs are "
+                         "mutually exclusive");
+    }
+    inputs = collect_project_sources(project_dir);
+    if (inputs.empty()) {
+      std::cerr << "evmpcc: no .cpp/.cc/.cxx sources under " << project_dir
+                << "\n";
+      return 1;
+    }
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string source = buffer.str();
+  if (inputs.empty()) return usage_error(argv[0], "no input file");
+  if (inputs.size() > 1 && !analyze_only) {
+    return usage_error(argv[0],
+                       "multiple input files require --analyze-only "
+                       "(translation takes one input)");
+  }
+
+  std::vector<evmp::analysis::SourceUnit> units;
+  units.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "evmpcc: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    units.push_back({path, buffer.str()});
+  }
 
   if (analyze) {
-    const std::vector<evmp::analysis::Diagnostic> diags =
-        evmp::analysis::analyze_source(source, analyze_options);
-    if (diag_format == "json") {
-      std::cout << evmp::analysis::render_json(diags, input);
+    std::vector<evmp::analysis::Diagnostic> diags;
+    if (units.size() == 1) {
+      // Single-TU: preserves the historical output exactly (no file
+      // prefixes inside the diagnostics; the render call supplies one).
+      diags = evmp::analysis::analyze_source(units.front().text,
+                                             analyze_options);
     } else {
-      std::cerr << evmp::analysis::render_text(diags, input);
+      diags = evmp::analysis::analyze_program(units, analyze_options);
+    }
+    const std::string& render_file = units.front().file;
+    if (diag_format == "json") {
+      std::cout << evmp::analysis::render_json(diags, render_file);
+    } else if (diag_format == "sarif") {
+      std::cout << evmp::analysis::render_sarif(diags, render_file);
+    } else {
+      std::cerr << evmp::analysis::render_text(diags, render_file);
     }
     const evmp::analysis::DiagnosticCounts counts =
         evmp::analysis::count(diags);
@@ -160,7 +240,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto result = evmp::compiler::translate_source(source, options);
+    const auto result =
+        evmp::compiler::translate_source(units.front().text, options);
     if (output.empty()) {
       std::cout << result.output;
     } else {
@@ -174,7 +255,7 @@ int main(int argc, char** argv) {
     std::cerr << "evmpcc: rewrote " << result.directives_rewritten
               << " directive(s)\n";
   } catch (const evmp::compiler::TranslateError& e) {
-    std::cerr << "evmpcc: " << input << ":" << e.what() << "\n";
+    std::cerr << "evmpcc: " << units.front().file << ":" << e.what() << "\n";
     return 3;
   }
   return 0;
