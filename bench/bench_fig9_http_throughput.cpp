@@ -15,11 +15,20 @@
 //        --width=3 (per-request team for +parallel) --real --handler-ms=20
 //        --burst=N (pipelined requests per user round trip; batched
 //        submission through the connectors) --full --csv=DIR
+//
+// --real-net switches to the real network front end (EXPERIMENTS.md §NET1):
+// an open-loop offered-load sweep through net::LoadClient against the
+// epoll-reactor net::Server running the same encryption handler, producing
+// the latency-vs-offered-load curve past the saturation knee into
+// <csv>/fig9_latency.csv. Knobs: --net-sweep=25,50,100,200,400 (offered
+// rates, req/s) --net-conns=256 --net-duration=5 --net-high=512
+// (shed high watermark; low = 3/4 of it).
 
 #include <cstdio>
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/tracing.hpp"
 #include "forkjoin/team.hpp"
@@ -28,6 +37,9 @@
 #include "httpsim/encryption_service.hpp"
 #include "httpsim/virtual_users.hpp"
 #include "kernels/crypt.hpp"
+#include "net/load_client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 
 namespace {
 
@@ -73,6 +85,87 @@ HttpLoadResult run_one(const Config& cfg, bool pyjama, bool parallel,
   return evmp::http::run_virtual_users(connector, cfg.users);
 }
 
+/// --real-net: drive the epoll front end with the open-loop client and
+/// write the offered-load vs latency curve. Returns the process exit code.
+int run_real_net(const evmp::common::CliArgs& args, const Config& cfg) {
+  const auto conns =
+      static_cast<std::size_t>(args.get_long("net-conns", 256));
+  const double duration = args.get_double("net-duration", 5.0);
+  const auto threads = static_cast<int>(args.get_long("net-threads", 2));
+  const auto high =
+      static_cast<std::size_t>(args.get_long("net-high", 512));
+  const auto sweep = args.get_long_list(
+      "net-sweep", std::vector<long>{25, 50, 100, 200, 400});
+  const std::string csv_dir = args.get("csv", "results");
+
+  if (!evmp::net::raise_fd_limit(2 * conns + 512)) {
+    std::fprintf(stderr, "FIG9: could not raise RLIMIT_NOFILE for %zu "
+                         "connections\n", conns);
+  }
+
+  evmp::Runtime rt;
+  rt.create_worker("worker", threads);
+  EncryptionService service(service_config(cfg, /*parallel=*/false,
+                                           /*pooled=*/false));
+  evmp::net::Server::Config sc;
+  sc.mode = evmp::net::Server::Mode::kHandler;
+  sc.handler = service.handler();
+  sc.high_watermark = high;
+  sc.low_watermark = high * 3 / 4;
+  evmp::net::Server server(rt, sc);
+  server.start();
+
+  evmp::net::LoadClient client(server.port(), conns, cfg.payload,
+                               /*seed=*/42);
+  const std::size_t up = client.connect_all();
+  std::printf("FIG9 --real-net: %zu/%zu connections, %d worker threads, "
+              "~%lldms handler, shed watermarks %zu/%zu\n",
+              up, conns, threads,
+              static_cast<long long>(cfg.handler_ms.count()), high,
+              high * 3 / 4);
+  if (up == 0) {
+    std::fprintf(stderr, "FIG9: no connections established\n");
+    return 2;
+  }
+
+  const std::string path = csv_dir + "/fig9_latency.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FIG9: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fprintf(f,
+               "offered_hz,sent,ok,shed,errors,wall_s,p50_ns,p90_ns,p99_ns,"
+               "p999_ns,max_ns,mean_ns\n");
+  for (const long rate : sweep) {
+    const evmp::net::RoundResult r = client.run_round(
+        static_cast<double>(rate), duration, /*poisson=*/true,
+        /*drain_timeout_s=*/15.0);
+    const evmp::common::LatencyQuantiles q = r.latency.quantiles();
+    std::printf("  offered=%5ld/s ok=%7llu shed=%6llu p50=%8.3fms "
+                "p99=%8.3fms p999=%8.3fms%s\n",
+                rate, static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.shed), q.p50 / 1e6,
+                q.p99 / 1e6, q.p999 / 1e6,
+                r.drained ? "" : "  [drain timeout]");
+    std::fprintf(
+        f, "%.0f,%llu,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%.0f\n",
+        r.offered_hz, static_cast<unsigned long long>(r.sent),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.errors), r.wall_seconds,
+        static_cast<unsigned long long>(q.p50),
+        static_cast<unsigned long long>(q.p90),
+        static_cast<unsigned long long>(q.p99),
+        static_cast<unsigned long long>(q.p999),
+        static_cast<unsigned long long>(q.max), q.mean_ns);
+  }
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+  server.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +193,8 @@ int main(int argc, char** argv) {
         evmp::kernels::simulated_cores());
   }
 
+  if (args.get_bool("real-net", false)) return run_real_net(args, cfg);
+
   const auto thread_counts = args.get_long_list(
       "threads", full ? std::vector<long>{1, 2, 4, 8, 16, 24, 32}
                       : std::vector<long>{1, 2, 4, 8, 16});
@@ -120,8 +215,8 @@ int main(int argc, char** argv) {
   evmp::common::TextTable table;
   table.set_header({"workers", "jetty", "pyjama", "jetty+parallel",
                     "pyjama+parallel", "pyjama+par(pooled)",
-                    "pyjama+par(adaptive)", "teams spawned",
-                    "pooled helpers"});
+                    "pyjama+par(adaptive)", "p50 ms", "p99 ms", "p999 ms",
+                    "teams spawned", "pooled helpers"});
 
   for (long workers : thread_counts) {
     const auto helper_threads_before =
@@ -166,6 +261,13 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(adaptive.failed));
     }
     row.push_back(evmp::common::fmt(adaptive.throughput_rps, 1));
+    // Round-trip latency quantiles of the adaptive series, from the
+    // HDR-style histogram (not a mean): the tail is what the paper's
+    // oversubscription mechanism actually moves.
+    const evmp::common::LatencyQuantiles lq = adaptive.latency.quantiles();
+    row.push_back(evmp::common::fmt(static_cast<double>(lq.p50) / 1e6, 2));
+    row.push_back(evmp::common::fmt(static_cast<double>(lq.p99) / 1e6, 2));
+    row.push_back(evmp::common::fmt(static_cast<double>(lq.p999) / 1e6, 2));
     row.push_back(std::to_string(teams));
     row.push_back(std::to_string(evmp::fj::total_helper_threads_created() -
                                  pooled_before));
@@ -177,7 +279,9 @@ int main(int argc, char** argv) {
               "mechanism). 'pooled helpers': helper threads created during "
               "the pooled-team run — grows only to the row's concurrency "
               "high-water mark (workers x (width-1) at most), not with the "
-              "request count; that is the fix for that mechanism.\n");
+              "request count; that is the fix for that mechanism. "
+              "'p50/p99/p999 ms': round-trip latency quantiles of the "
+              "adaptive series from the log-bucketed latency histogram.\n");
   if (cfg.users.burst > 1) {
     std::printf("# burst=%d: each user pipelines %d requests per round trip; "
                 "connectors admit each burst via batched submission.\n",

@@ -12,15 +12,72 @@
 //      [--adaptive]   (with --parallel: let the pool's WidthGovernor size
 //                      each request's team from live load — wide when the
 //                      service is idle, narrow under a request storm)
+//      [--real-net]   (serve over real loopback HTTP instead of the
+//                      in-process connectors: the epoll reactor accepts
+//                      connections, the worker virtual target runs the
+//                      same handler, and an open-loop client offers
+//                      --rate req/s for --duration seconds)
 
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "core/runtime.hpp"
 #include "forkjoin/team.hpp"
 #include "forkjoin/team_pool.hpp"
 #include "httpsim/connector.hpp"
 #include "httpsim/encryption_service.hpp"
 #include "httpsim/virtual_users.hpp"
+#include "net/load_client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+/// --real-net: the same service behind the epoll front end, over real
+/// sockets, measured open-loop.
+int run_real_net(const evmp::common::CliArgs& args,
+                 const evmp::http::EncryptionService::Config& cfg,
+                 int workers) {
+  const auto conns = static_cast<std::size_t>(args.get_long("conns", 128));
+  const double rate = args.get_double("rate", 500.0);
+  const double duration = args.get_double("duration", 3.0);
+  if (!evmp::net::raise_fd_limit(2 * conns + 512)) {
+    std::fprintf(stderr, "could not raise RLIMIT_NOFILE for %zu conns\n",
+                 conns);
+  }
+
+  evmp::Runtime rt;
+  rt.create_worker("worker", workers);
+  evmp::http::EncryptionService service(cfg);
+  evmp::net::Server::Config sc;
+  sc.mode = evmp::net::Server::Mode::kHandler;
+  sc.handler = service.handler();
+  evmp::net::Server server(rt, sc);
+  server.start();
+
+  evmp::net::LoadClient client(server.port(), conns, cfg.payload_bytes,
+                               /*seed=*/7);
+  const std::size_t up = client.connect_all();
+  std::printf("real-net: %zu/%zu loopback connections to port %u\n", up,
+              conns, server.port());
+  if (up == 0) return 2;
+  const evmp::net::RoundResult r =
+      client.run_round(rate, duration, /*poisson=*/true,
+                       /*drain_timeout_s=*/10.0);
+  const evmp::common::LatencyQuantiles q = r.latency.quantiles();
+  std::printf("real-net: offered %.0f req/s for %.1fs -> %llu ok, %llu "
+              "shed, %llu errors\n",
+              rate, duration, static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.errors));
+  std::printf("          p50 %.2f ms, p99 %.2f ms, p999 %.2f ms\n",
+              q.p50 / 1e6, q.p99 / 1e6, q.p999 / 1e6);
+  server.stop();
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const evmp::common::CliArgs args(argc, argv);
@@ -39,6 +96,10 @@ int main(int argc, char** argv) {
   cfg.parallel_width = parallel ? 3 : 1;
   cfg.pooled_team = pooled;
   cfg.adaptive_width = adaptive;
+
+  if (args.get_bool("real-net", false)) {
+    return run_real_net(args, cfg, workers);
+  }
 
   std::printf("HTTP encryption service: %d users x %d requests, %zuB "
               "payloads, %d workers%s%s\n\n",

@@ -69,6 +69,7 @@ struct ShardedQueueStats {
   std::uint64_t steals = 0;        ///< pops served from a non-home shard
   std::uint64_t collisions = 0;    ///< pushes that found their shard locked
   std::uint64_t max_depth = 0;     ///< deepest single shard ever observed
+  std::uint64_t rejections = 0;    ///< try_push items refused by capacity
 };
 
 /// Unbounded MPMC FIFO striped over `num_shards` mutex-protected shards.
@@ -119,9 +120,85 @@ class ShardedMpmcQueue {
     cpu_home_.store(on, std::memory_order_relaxed);
   }
 
+  /// Soft bound on the queue's total depth, enforced by try_push /
+  /// try_push_batch only (0 = unbounded). Plain push()/push_batch() keep
+  /// their must-succeed contract regardless — completion-carrying
+  /// dispatches can never be refused, so a join can never deadlock on a
+  /// refused continuation. The bound is checked under one shard's lock
+  /// against the global size, so concurrent try_pushers into other shards
+  /// can overshoot by at most one item each — admission control, not a
+  /// hard invariant.
+  void set_capacity(std::size_t capacity) noexcept {
+    capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
   /// Push one item to the producer's home shard. Returns false (drops the
   /// item) if the queue is closed.
   bool push(T item) { return push_to(home_shard(), std::move(item)); }
+
+  /// As push(), but additionally refuses the item (returns false, counts a
+  /// rejection) when the queue already holds capacity() items. This is the
+  /// backpressure seam: overload callers that can shed use this, callers
+  /// carrying completions use push().
+  bool try_push(T item) { return try_push_to(home_shard(), std::move(item)); }
+
+  bool try_push_to(std::size_t shard_index, T item) {
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    Shard& s = shard(shard_index);
+    {
+      std::unique_lock lk(s.mu, std::try_to_lock);
+      if (!lk.owns_lock()) {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+      }
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (cap != 0 && size_.load(std::memory_order_acquire) >= cap) {
+        rejections_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      s.items.push_back(std::move(item));
+      note_depth(s.items.size());
+      size_.fetch_add(1, std::memory_order_release);
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake(false);
+    return true;
+  }
+
+  /// All-or-nothing bounded batch admission: either every item fits under
+  /// capacity() (returns items.size()) or none is admitted (returns 0 and
+  /// counts items.size() rejections when refused by the bound).
+  std::size_t try_push_batch(std::span<T> items) {
+    if (items.empty()) return 0;
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    Shard& s = shard(home_shard());
+    {
+      std::unique_lock lk(s.mu, std::try_to_lock);
+      if (!lk.owns_lock()) {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        lk.lock();
+      }
+      if (closed_.load(std::memory_order_acquire)) return 0;
+      if (cap != 0 && size_.load(std::memory_order_acquire) + items.size() >
+                          cap) {
+        rejections_.fetch_add(items.size(), std::memory_order_relaxed);
+        return 0;
+      }
+      for (T& item : items) {
+        s.items.push_back(std::move(item));
+      }
+      note_depth(s.items.size());
+      size_.fetch_add(items.size(), std::memory_order_release);
+      batch_pushes_.fetch_add(1, std::memory_order_relaxed);
+      batch_items_.fetch_add(items.size(), std::memory_order_relaxed);
+    }
+    wake(true);
+    return items.size();
+  }
 
   /// Push to an explicit shard (tests; executors with indexed workers).
   bool push_to(std::size_t shard_index, T item) {
@@ -269,6 +346,7 @@ class ShardedMpmcQueue {
     s.steals = steals_.load(std::memory_order_relaxed);
     s.collisions = collisions_.load(std::memory_order_relaxed);
     s.max_depth = max_depth_.load(std::memory_order_relaxed);
+    s.rejections = rejections_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -366,6 +444,7 @@ class ShardedMpmcQueue {
   std::atomic<bool> closed_{false};
   std::atomic<bool> cpu_home_{false};
   std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> capacity_{0};
 
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> batch_pushes_{0};
@@ -374,6 +453,7 @@ class ShardedMpmcQueue {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> collisions_{0};
   std::atomic<std::uint64_t> max_depth_{0};
+  std::atomic<std::uint64_t> rejections_{0};
 };
 
 }  // namespace evmp::common

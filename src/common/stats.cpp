@@ -88,12 +88,23 @@ std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) noexcept {
 }
 
 std::uint64_t LatencyHistogram::bucket_midpoint(std::size_t b) noexcept {
-  if (b < (1u << kSubBits)) return b;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bucket_bounds(b, &lo, &hi);
+  return lo + (hi - lo) / 2;
+}
+
+void LatencyHistogram::bucket_bounds(std::size_t b, std::uint64_t* lo,
+                                     std::uint64_t* hi) noexcept {
+  if (b < (1u << kSubBits)) {
+    *lo = *hi = b;
+    return;
+  }
   const std::size_t exp = (b >> kSubBits) + kSubBits - 1;
   const std::uint64_t sub = b & ((1u << kSubBits) - 1);
-  const std::uint64_t base = (1ull << exp) + (sub << (exp - kSubBits));
   const std::uint64_t width = 1ull << (exp - kSubBits);
-  return base + width / 2;
+  *lo = (1ull << exp) + sub * width;
+  *hi = *lo + width - 1;
 }
 
 void LatencyHistogram::record(std::uint64_t ns) noexcept {
@@ -125,6 +136,84 @@ double LatencyHistogram::mean_ns() const noexcept {
   if (total == 0) return 0.0;
   return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
          static_cast<double>(total);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    s.counts_[b] = counts_[b].load(std::memory_order_relaxed);
+  }
+  s.sum_ = sum_.load(std::memory_order_relaxed);
+  s.n_ = n_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t c = other.counts_[b].load(std::memory_order_relaxed);
+    if (c != 0) counts_[b].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  n_.fetch_add(other.n_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::mean_ns() const noexcept {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(n_);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const noexcept {
+  if (n_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    seen += counts_[b];
+    if (seen < target) continue;
+    // Interpolate linearly inside the landing bucket: the target rank's
+    // position among the bucket's own samples picks the value between the
+    // bucket's bounds instead of rounding to its midpoint.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    LatencyHistogram::bucket_bounds(b, &lo, &hi);
+    const std::uint64_t before = seen - counts_[b];
+    const double frac = static_cast<double>(target - before) /
+                        static_cast<double>(counts_[b]);
+    return lo + static_cast<std::uint64_t>(
+                    frac * static_cast<double>(hi - lo) + 0.5);
+  }
+  return 0;  // unreachable: target <= n_ and the buckets sum to n_
+}
+
+LatencyQuantiles HistogramSnapshot::quantiles() const noexcept {
+  LatencyQuantiles q;
+  if (n_ == 0) return q;
+  q.p50 = percentile(0.50);
+  q.p90 = percentile(0.90);
+  q.p99 = percentile(0.99);
+  q.p999 = percentile(0.999);
+  q.mean_ns = mean_ns();
+  for (std::size_t b = counts_.size(); b-- > 0;) {
+    if (counts_[b] == 0) continue;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    LatencyHistogram::bucket_bounds(b, &lo, &hi);
+    q.max = hi;
+    break;
+  }
+  return q;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  sum_ += other.sum_;
+  n_ += other.n_;
 }
 
 std::string LatencyHistogram::summary() const {

@@ -42,6 +42,16 @@ class Executor {
   /// membership fast-path before posting).
   virtual void post(Task task) = 0;
 
+  /// Bounded submission: as post(), but an executor with a capped run
+  /// queue may refuse the task (returns false, task destroyed unrun) when
+  /// the queue is at capacity. The default accepts unconditionally via
+  /// post(). Callers that cannot shed — completion-carrying dispatches —
+  /// must use post(), whose must-succeed contract is unchanged.
+  virtual bool try_post(Task task) {
+    post(std::move(task));
+    return true;
+  }
+
   /// Submit a burst of tasks in one call, moving each task out of `tasks`.
   /// Queue-backed executors override this to take their submission lock
   /// once and notify once per batch instead of once per task; the default

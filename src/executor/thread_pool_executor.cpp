@@ -42,6 +42,10 @@ void ThreadPoolExecutor::post(Task task) {
   }
 }
 
+bool ThreadPoolExecutor::try_post(Task task) {
+  return queue_.try_push(std::move(task));
+}
+
 void ThreadPoolExecutor::post_batch(std::span<Task> tasks) {
   if (tasks.empty()) return;
   if (queue_.push_batch(tasks) == 0) {
@@ -78,6 +82,7 @@ void ThreadPoolExecutor::shutdown() {
   tracer.set_counter(prefix + ".steals", s.steals);
   tracer.set_counter(prefix + ".shard_collisions", s.collisions);
   tracer.set_counter(prefix + ".max_shard_depth", s.max_depth);
+  tracer.set_counter(prefix + ".rejections", s.rejections);
 }
 
 void ThreadPoolExecutor::worker_main(std::size_t index) {

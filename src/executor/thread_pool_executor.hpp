@@ -29,6 +29,7 @@ class ThreadPoolExecutor final : public Executor {
   ~ThreadPoolExecutor() override;
 
   void post(Task task) override;
+  bool try_post(Task task) override;
   void post_batch(std::span<Task> tasks) override;
   bool try_run_one() override;
   [[nodiscard]] std::size_t concurrency() const noexcept override;
@@ -38,6 +39,16 @@ class ThreadPoolExecutor final : public Executor {
   /// Idempotent; called automatically by the destructor. Publishes the
   /// queue counters to common::Tracer under "<name>.<counter>".
   void shutdown();
+
+  /// Bound the run queue for try_post() (0 = unbounded). post() is never
+  /// bounded — see Executor::try_post for the contract split.
+  void set_queue_capacity(std::size_t capacity) noexcept {
+    queue_.set_capacity(capacity);
+  }
+
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return queue_.capacity();
+  }
 
   /// Run-queue fan-in counters (posts, batches, steals, collisions ...).
   [[nodiscard]] common::ShardedQueueStats queue_stats() const noexcept {

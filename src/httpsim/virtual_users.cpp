@@ -15,6 +15,7 @@ HttpLoadResult run_virtual_users(Connector& connector,
                                  const VirtualUserOptions& options) {
   HttpLoadResult result;
   std::mutex result_mu;
+  common::LatencyHistogram hist;
   const auto start = common::now();
   common::TimePoint last_response = start;
 
@@ -55,6 +56,9 @@ HttpLoadResult run_virtual_users(Connector& connector,
           std::uint64_t burst_failed = 0;
           auto on_response = [&](const Response& resp) {
             const auto now_tp = common::now();
+            // Wait-free record path: no lock around the histogram.
+            hist.record(static_cast<std::uint64_t>(
+                std::max<std::int64_t>(1, (now_tp - sent).count())));
             {
               std::scoped_lock lk(burst_mu);
               if (!resp.ok) ++burst_failed;
@@ -82,6 +86,7 @@ HttpLoadResult run_virtual_users(Connector& connector,
     }
   }  // join all users
 
+  result.latency = hist.snapshot();
   result.wall_seconds = common::to_sec(last_response - start);
   result.throughput_rps =
       result.wall_seconds > 0.0

@@ -17,6 +17,9 @@ struct HttpLoadResult {
   double wall_seconds = 0.0;       ///< first submit .. last response
   double throughput_rps = 0.0;     ///< completed / wall_seconds
   common::PercentileSampler latency_ms;  ///< per-request round trip
+  /// Same round trips in the HDR-style log-bucketed histogram (ns):
+  /// p50/p99/p999 without storing every sample, mergeable across runs.
+  common::HistogramSnapshot latency;
 };
 
 /// Closed-loop virtual user swarm.

@@ -1,0 +1,274 @@
+#include "net/http.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace evmp::net {
+
+namespace {
+
+constexpr std::size_t kNoHeaderEnd = static_cast<std::size_t>(-1);
+
+/// Offset just past the "\r\n\r\n" terminating the header block, or
+/// kNoHeaderEnd when the block is still incomplete.
+std::size_t find_header_end(std::span<const std::uint8_t> in) noexcept {
+  for (std::size_t i = 0; i + 3 < in.size(); ++i) {
+    if (in[i] == '\r' && in[i + 1] == '\n' && in[i + 2] == '\r' &&
+        in[i + 3] == '\n') {
+      return i + 4;
+    }
+  }
+  return kNoHeaderEnd;
+}
+
+std::string_view as_view(std::span<const std::uint8_t> bytes) noexcept {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+char lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+bool parse_u64_dec(std::string_view s, std::uint64_t* out) noexcept {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_u64_hex(std::string_view s, std::uint64_t* out) noexcept {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    const char l = lower(c);
+    std::uint64_t d = 0;
+    if (l >= '0' && l <= '9') {
+      d = static_cast<std::uint64_t>(l - '0');
+    } else if (l >= 'a' && l <= 'f') {
+      d = static_cast<std::uint64_t>(l - 'a' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+/// Shared header-block walk: invokes `on_header(name, value)` per line.
+/// Returns false on a malformed line.
+template <class Fn>
+bool walk_headers(std::string_view block, Fn&& on_header) {
+  while (!block.empty()) {
+    const std::size_t eol = block.find("\r\n");
+    if (eol == std::string_view::npos) return false;  // block ends in CRLF
+    const std::string_view line = block.substr(0, eol);
+    block.remove_prefix(eol + 2);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    on_header(trim(line.substr(0, colon)), trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+struct CommonHeaders {
+  std::uint64_t content_length = 0;
+  bool content_length_seen = false;
+  bool content_length_bad = false;
+  std::uint64_t id = 0;
+  std::uint64_t checksum = 0;
+  bool connection_close = false;
+  bool connection_keep_alive = false;
+};
+
+void note_header(CommonHeaders* h, std::string_view hname,
+                 std::string_view value) {
+  if (iequals(hname, "content-length")) {
+    h->content_length_seen = true;
+    if (!parse_u64_dec(value, &h->content_length)) {
+      h->content_length_bad = true;
+    }
+  } else if (iequals(hname, "x-request-id")) {
+    (void)parse_u64_dec(value, &h->id);
+  } else if (iequals(hname, "x-checksum")) {
+    (void)parse_u64_hex(value, &h->checksum);
+  } else if (iequals(hname, "connection")) {
+    if (iequals(value, "close")) h->connection_close = true;
+    if (iequals(value, "keep-alive")) h->connection_keep_alive = true;
+  }
+}
+
+void append_text(std::vector<std::uint8_t>& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+}  // namespace
+
+ParseStatus parse_http_request(std::span<const std::uint8_t> in,
+                               std::size_t* consumed, HttpRequest* out) {
+  const std::size_t header_end = find_header_end(in);
+  if (header_end == kNoHeaderEnd) {
+    return in.size() > kMaxHeaderBytes ? ParseStatus::kError
+                                       : ParseStatus::kNeedMore;
+  }
+  if (header_end > kMaxHeaderBytes) return ParseStatus::kError;
+  const std::string_view head = as_view(in.subspan(0, header_end - 2));
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view start = head.substr(0, line_end);
+  const std::size_t sp1 = start.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : start.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return ParseStatus::kError;
+  const std::string_view version = start.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) return ParseStatus::kError;
+
+  CommonHeaders h;
+  if (!walk_headers(head.substr(line_end + 2),
+                    [&h](std::string_view hname, std::string_view value) {
+                      note_header(&h, hname, value);
+                    })) {
+    return ParseStatus::kError;
+  }
+  if (h.content_length_bad || h.content_length > kMaxBodyBytes) {
+    return ParseStatus::kError;
+  }
+  if (in.size() - header_end < h.content_length) return ParseStatus::kNeedMore;
+
+  out->method = start.substr(0, sp1);
+  out->target = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->id = h.id;
+  // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  // Connection header overrides either way.
+  out->keep_alive = h.connection_close
+                        ? false
+                        : (version == "HTTP/1.0" ? h.connection_keep_alive
+                                                 : true);
+  out->body = in.subspan(header_end, h.content_length);
+  *consumed = header_end + h.content_length;
+  return ParseStatus::kOk;
+}
+
+ParseStatus parse_http_response(std::span<const std::uint8_t> in,
+                                std::size_t* consumed, HttpResponse* out) {
+  const std::size_t header_end = find_header_end(in);
+  if (header_end == kNoHeaderEnd) {
+    return in.size() > kMaxHeaderBytes ? ParseStatus::kError
+                                       : ParseStatus::kNeedMore;
+  }
+  if (header_end > kMaxHeaderBytes) return ParseStatus::kError;
+  const std::string_view head = as_view(in.subspan(0, header_end - 2));
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view start = head.substr(0, line_end);
+  if (!start.starts_with("HTTP/1.")) return ParseStatus::kError;
+  const std::size_t sp1 = start.find(' ');
+  if (sp1 == std::string_view::npos) return ParseStatus::kError;
+  std::string_view code = start.substr(sp1 + 1);
+  const std::size_t sp2 = code.find(' ');
+  if (sp2 != std::string_view::npos) code = code.substr(0, sp2);
+  std::uint64_t status = 0;
+  if (!parse_u64_dec(code, &status) || status < 100 || status > 599) {
+    return ParseStatus::kError;
+  }
+
+  CommonHeaders h;
+  if (!walk_headers(head.substr(line_end + 2),
+                    [&h](std::string_view hname, std::string_view value) {
+                      note_header(&h, hname, value);
+                    })) {
+    return ParseStatus::kError;
+  }
+  if (h.content_length_bad || h.content_length > kMaxBodyBytes) {
+    return ParseStatus::kError;
+  }
+  if (in.size() - header_end < h.content_length) return ParseStatus::kNeedMore;
+
+  out->status = static_cast<int>(status);
+  out->id = h.id;
+  out->checksum = h.checksum;
+  out->body = in.subspan(header_end, h.content_length);
+  *consumed = header_end + h.content_length;
+  return ParseStatus::kOk;
+}
+
+void encode_http_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                         std::span<const std::uint8_t> payload) {
+  char head[160];
+  const int n = std::snprintf(
+      head, sizeof(head),
+      "POST /encrypt HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Request-Id: %llu\r\n"
+      "Content-Length: %zu\r\n"
+      "\r\n",
+      static_cast<unsigned long long>(id), payload.size());
+  out.reserve(out.size() + static_cast<std::size_t>(n) + payload.size());
+  append_text(out, std::string_view(head, static_cast<std::size_t>(n)));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void encode_http_response(std::vector<std::uint8_t>& out, int status,
+                          std::uint64_t id, std::uint64_t checksum,
+                          std::span<const std::uint8_t> body) {
+  char head[192];
+  int n = 0;
+  if (status == kStatusOk) {
+    n = std::snprintf(head, sizeof(head),
+                      "HTTP/1.1 200 OK\r\n"
+                      "X-Request-Id: %llu\r\n"
+                      "X-Checksum: %016llx\r\n"
+                      "Content-Length: %zu\r\n"
+                      "\r\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(checksum), body.size());
+  } else {
+    n = std::snprintf(head, sizeof(head),
+                      "HTTP/1.1 %d %s\r\n"
+                      "X-Request-Id: %llu\r\n"
+                      "Retry-After: 0\r\n"
+                      "Content-Length: 0\r\n"
+                      "\r\n",
+                      status,
+                      status == kStatusShed ? "Service Unavailable" : "Error",
+                      static_cast<unsigned long long>(id));
+    body = {};
+  }
+  out.reserve(out.size() + static_cast<std::size_t>(n) + body.size());
+  append_text(out, std::string_view(head, static_cast<std::size_t>(n)));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace evmp::net

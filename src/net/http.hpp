@@ -1,0 +1,82 @@
+#pragma once
+// Minimal HTTP/1.1 wire layer for the loopback front end: an incremental
+// request/response parser and the matching encoders.
+//
+// Scope is deliberately small — exactly what the encryption service and
+// its load generator exchange: keep-alive `POST /encrypt` requests whose
+// body is the payload to encrypt, with `Content-Length` framing (no
+// chunked encoding, no multipart). Two extension headers carry the
+// request identity and the result so responses can be matched and checked
+// without parsing the body:
+//
+//   X-Request-Id: <decimal>     echoed verbatim in the response
+//   X-Checksum:   <16 hex>      FNV-1a of the encrypted payload
+//
+// A shed response is a plain `503 Service Unavailable` with
+// `Retry-After: 0`; the connection stays usable (see net::Server).
+//
+// Parsers are incremental: feed any prefix of the stream, get kNeedMore
+// until one complete message is available, then `*consumed` tells the
+// caller how many bytes to discard. Views in the output structs point
+// into the input span and are only valid until the caller mutates it.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace evmp::net {
+
+/// Result of one incremental parse attempt.
+enum class ParseStatus : std::uint8_t {
+  kOk,        ///< one complete message parsed; *consumed set
+  kNeedMore,  ///< the buffer holds only a prefix; read more bytes
+  kError,     ///< malformed or oversized message; close the connection
+};
+
+/// Hard limits: a header block or body beyond these is a protocol error,
+/// not a request for more memory.
+constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+constexpr std::size_t kMaxBodyBytes = 64u << 20;
+
+constexpr int kStatusOk = 200;
+constexpr int kStatusShed = 503;
+
+/// One parsed request. `body` views into the parse input.
+struct HttpRequest {
+  std::string_view method;
+  std::string_view target;
+  std::uint64_t id = 0;  ///< X-Request-Id, 0 when absent
+  bool keep_alive = true;
+  std::span<const std::uint8_t> body;
+};
+
+/// One parsed response. `body` views into the parse input.
+struct HttpResponse {
+  int status = 0;
+  std::uint64_t id = 0;        ///< X-Request-Id, 0 when absent
+  std::uint64_t checksum = 0;  ///< X-Checksum, 0 when absent
+  std::span<const std::uint8_t> body;
+};
+
+ParseStatus parse_http_request(std::span<const std::uint8_t> in,
+                               std::size_t* consumed, HttpRequest* out);
+
+ParseStatus parse_http_response(std::span<const std::uint8_t> in,
+                                std::size_t* consumed, HttpResponse* out);
+
+/// Append a keep-alive `POST /encrypt` request carrying `payload`.
+void encode_http_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                         std::span<const std::uint8_t> payload);
+
+/// Append a response. 200s carry `checksum` and `body`; other statuses
+/// (e.g. 503) get `Retry-After: 0` and an empty body.
+void encode_http_response(std::vector<std::uint8_t>& out, int status,
+                          std::uint64_t id, std::uint64_t checksum,
+                          std::span<const std::uint8_t> body);
+
+/// FNV-1a over a byte span — the checksum both ends agree on.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace evmp::net

@@ -1,0 +1,100 @@
+#pragma once
+// Open-loop HTTP load client for the net::Server front end.
+//
+// Methodology: arrivals are scheduled up front at the offered rate
+// (Poisson by default) and never wait for the system — an overloaded
+// server shows up as queueing delay and shed responses, not as a reduced
+// offered rate. Latency is measured from each request's *scheduled* send
+// time to its response parse, so sender-side stalls cannot hide server
+// queueing (coordinated-omission-safe). Results land in the HDR-style
+// common::LatencyHistogram and are reported as mergeable snapshots.
+//
+// One client thread drives all connections from its own epoll loop; the
+// library is shared by tools/evmp_loadgen and `bench_fig9 --real-net`.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/socket.hpp"
+
+namespace evmp::net {
+
+/// Outcome of one offered-load round.
+struct RoundResult {
+  double offered_hz = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;    ///< 503 responses
+  std::uint64_t errors = 0;  ///< checksum/protocol/socket failures
+  double wall_seconds = 0.0;
+  common::HistogramSnapshot latency;
+  bool drained = false;  ///< every response arrived before the timeout
+};
+
+/// All client-side state for one process: the epoll set and the
+/// connection table, reused across sweep rounds.
+class LoadClient {
+ public:
+  /// `conns` sockets against loopback `port`, each request carrying a
+  /// `payload`-byte body (seeded deterministically from `seed`).
+  LoadClient(std::uint16_t port, std::size_t conns, std::size_t payload,
+             std::uint64_t seed);
+  ~LoadClient();
+  LoadClient(const LoadClient&) = delete;
+  LoadClient& operator=(const LoadClient&) = delete;
+
+  /// Establish every connection, in waves sized to stay under the listen
+  /// backlog, with retry passes for attempts the kernel dropped under the
+  /// burst. Returns the number established.
+  std::size_t connect_all(int retry_passes = 3);
+
+  /// One open-loop round at `rate_hz` for `duration_s` seconds, then up
+  /// to `drain_timeout_s` more waiting for stragglers.
+  RoundResult run_round(double rate_hz, double duration_s, bool poisson,
+                        double drain_timeout_s);
+
+  [[nodiscard]] std::size_t established() const noexcept {
+    return established_;
+  }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    bool connected = false;
+    bool want_write = false;
+    bool dead = false;
+  };
+
+  void fail_conn(Conn& c);
+  bool all_dead() const;
+  void mod_interest(std::size_t idx, bool want_write);
+  std::size_t send_on_next_alive(std::size_t rr, std::uint64_t id);
+  void flush(std::size_t idx, Conn& c);
+  void read_ready(Conn& c);
+  void on_response(int status, std::uint64_t id, std::uint64_t checksum,
+                   std::size_t body_bytes);
+
+  Fd epoll_;
+  std::uint16_t port_;
+  common::Xoshiro256 rng_;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t expected_sum_ = 0;
+  std::vector<Conn> conns_;
+  std::size_t established_ = 0;
+
+  // Per-round state.
+  std::vector<common::TimePoint> send_time_;
+  common::LatencyHistogram hist_;
+  std::uint64_t received_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace evmp::net

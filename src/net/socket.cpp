@@ -1,0 +1,103 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace evmp::net {
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: Linux releases the descriptor either
+    // way, and a retry could close a descriptor reused by another thread.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+namespace {
+sockaddr_in loopback_addr(std::uint16_t port) noexcept {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+Fd listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                       int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) return {};
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return {};
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_tcp_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return {};
+  }
+  return fd;
+}
+
+bool raise_fd_limit(std::size_t needed) noexcept {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur >= needed) return true;
+  rlimit want = lim;
+  want.rlim_cur = std::max<rlim_t>(needed, lim.rlim_cur);
+  if (lim.rlim_max != RLIM_INFINITY && want.rlim_cur > lim.rlim_max) {
+    // Soft limit cannot exceed the hard limit; try raising both (allowed
+    // for privileged processes, up to the kernel's fs.nr_open).
+    want.rlim_max = want.rlim_cur;
+  }
+  if (::setrlimit(RLIMIT_NOFILE, &want) == 0) return true;
+  // Unprivileged fallback: take the whole hard limit and report whether
+  // that reaches the request.
+  want.rlim_cur = lim.rlim_max;
+  want.rlim_max = lim.rlim_max;
+  if (::setrlimit(RLIMIT_NOFILE, &want) != 0) return false;
+  return lim.rlim_max == RLIM_INFINITY || lim.rlim_max >= needed;
+}
+
+}  // namespace evmp::net

@@ -1,0 +1,69 @@
+#pragma once
+// Thin POSIX socket layer under the reactor: RAII descriptors and the
+// handful of loopback TCP helpers the server and the load generator share.
+// Everything is non-blocking by construction — the reactor model forbids
+// a blocking syscall on the event thread.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evmp::net {
+
+/// RAII owner of a file descriptor (socket, eventfd, epoll instance).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Give up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Close the current descriptor (if any) and adopt `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK via fcntl; true on success.
+bool set_nonblocking(int fd) noexcept;
+
+/// TCP_NODELAY (request/response exchanges are latency-sensitive and
+/// smaller than a segment; Nagle would serialise them against delayed
+/// ACKs); true on success.
+bool set_nodelay(int fd) noexcept;
+
+/// Create a non-blocking listening TCP socket bound to 127.0.0.1:`port`
+/// (0 = kernel-assigned ephemeral port, reported via `bound_port`).
+/// Returns an invalid Fd and leaves errno set on failure.
+Fd listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                       int backlog = 4096);
+
+/// Start a non-blocking connect to 127.0.0.1:`port`. The returned socket
+/// is connecting (EINPROGRESS) or connected; completion is observed as
+/// writability. Invalid Fd + errno on immediate failure.
+Fd connect_tcp_loopback(std::uint16_t port);
+
+/// Raise RLIMIT_NOFILE so the process can hold at least `needed`
+/// descriptors (the 100k-connection harness needs ~2 fds per loopback
+/// connection). Raises the hard limit too when privileged; returns false
+/// when the limit cannot reach `needed`.
+bool raise_fd_limit(std::size_t needed) noexcept;
+
+}  // namespace evmp::net

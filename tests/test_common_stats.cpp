@@ -160,6 +160,116 @@ TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(LatencyHistogram, BucketRelativeErrorAcrossMagnitudes) {
+  // The HDR-style layout promises <= 12.5% relative error per bucket at
+  // every magnitude, from single nanoseconds to ~18 minutes.
+  for (const std::uint64_t v :
+       {1ull, 3ull, 100ull, 999ull, 12'345ull, 1'000'000ull,
+        123'456'789ull, 1ull << 40}) {
+    LatencyHistogram h;
+    h.record(v);
+    const auto p = static_cast<double>(h.percentile(1.0));
+    const auto want = static_cast<double>(v);
+    EXPECT_NEAR(p, want, want * 0.125 + 1.0) << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, SnapshotMatchesLiveHistogram) {
+  LatencyHistogram h;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 4000; ++i) h.record(rng.next_below(10'000'000));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.total_count(), h.total_count());
+  EXPECT_DOUBLE_EQ(snap.mean_ns(), h.mean_ns());
+  // The live histogram reports bucket midpoints while the snapshot
+  // interpolates, so the two agree only to within one bucket's width.
+  for (double q : {0.5, 0.9, 0.99, 1.0}) {
+    const auto live = static_cast<double>(h.percentile(q));
+    const auto interp = static_cast<double>(snap.percentile(q));
+    EXPECT_NEAR(interp, live, live * 0.13 + 1.0) << "q " << q;
+  }
+}
+
+TEST(LatencyHistogram, SnapshotMergeIsExactAndAssociative) {
+  // Bucket-wise merge is lossless: (a+b)+c and a+(b+c) agree with the
+  // histogram that saw every sample directly, at every quantile.
+  LatencyHistogram all;
+  LatencyHistogram parts[3];
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 9000; ++i) {
+    const std::uint64_t v = rng.next_below(100'000'000);
+    all.record(v);
+    parts[i % 3].record(v);
+  }
+  HistogramSnapshot left = parts[0].snapshot();   // (a + b) + c
+  left.merge(parts[1].snapshot());
+  left.merge(parts[2].snapshot());
+  HistogramSnapshot bc = parts[1].snapshot();     // a + (b + c)
+  bc.merge(parts[2].snapshot());
+  HistogramSnapshot right = parts[0].snapshot();
+  right.merge(bc);
+  const HistogramSnapshot direct = all.snapshot();
+  EXPECT_EQ(left.total_count(), direct.total_count());
+  EXPECT_EQ(right.total_count(), direct.total_count());
+  EXPECT_DOUBLE_EQ(left.mean_ns(), direct.mean_ns());
+  EXPECT_DOUBLE_EQ(right.mean_ns(), direct.mean_ns());
+  for (double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(left.percentile(q), direct.percentile(q)) << "q " << q;
+    EXPECT_EQ(right.percentile(q), direct.percentile(q)) << "q " << q;
+  }
+  const LatencyQuantiles lq = left.quantiles();
+  EXPECT_EQ(lq.p50, direct.percentile(0.5));
+  EXPECT_EQ(lq.p999, direct.percentile(0.999));
+}
+
+TEST(LatencyHistogram, SnapshotQuantilesInterpolateWithinBucket) {
+  // All mass in one bucket: quantiles must move monotonically across the
+  // bucket's width instead of snapping to its midpoint.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1'000'000);
+  const HistogramSnapshot snap = h.snapshot();
+  const std::uint64_t p10 = snap.percentile(0.10);
+  const std::uint64_t p90 = snap.percentile(0.90);
+  EXPECT_LE(p10, p90);
+  EXPECT_LT(p90 - p10, static_cast<std::uint64_t>(1e6 * 0.13))
+      << "interpolation must stay inside one bucket's width";
+  // And an empty snapshot reports zeros rather than garbage.
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.total_count(), 0u);
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersMergeToExactTotal) {
+  // Stress the wait-free record path: racing writers into one shared
+  // histogram plus per-thread histograms merged after the fact must both
+  // account for every sample.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  LatencyHistogram shared;
+  std::vector<LatencyHistogram> locals(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&shared, &locals, t] {
+        Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::uint64_t v = rng.next_below(1'000'000) + 1;
+          shared.record(v);
+          locals[static_cast<std::size_t>(t)].record(v);
+        }
+      });
+    }
+  }
+  HistogramSnapshot merged = locals[0].snapshot();
+  for (int t = 1; t < kThreads; ++t) merged.merge(locals[t].snapshot());
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(shared.total_count(), want);
+  EXPECT_EQ(merged.total_count(), want);
+  EXPECT_EQ(merged.percentile(0.5), shared.snapshot().percentile(0.5));
+}
+
 TEST(LatencyHistogram, ResetClears) {
   LatencyHistogram h;
   h.record(123);
